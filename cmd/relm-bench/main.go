@@ -1,0 +1,190 @@
+// Command relm-bench regenerates the paper's evaluation: one experiment per
+// table and figure (see DESIGN.md's per-experiment index). Output is the
+// text analog of each figure plus a summary table.
+//
+// Usage:
+//
+//	relm-bench -exp all                 # run everything at -scale quick
+//	relm-bench -exp fig5 -scale full    # one experiment at paper scale
+//	relm-bench -list                    # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/textio"
+)
+
+type experiment struct {
+	id    string
+	about string
+	run   func(env *experiments.Env) error
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id (comma-separated) or 'all'")
+	scaleFlag := flag.String("scale", "quick", "quick | full")
+	seedFlag := flag.Int64("seed", 0, "world seed (0 = default)")
+	listFlag := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	table := registry()
+	if *listFlag {
+		tb := textio.NewTable("id", "reproduces")
+		for _, e := range table {
+			tb.AddRow(e.id, e.about)
+		}
+		tb.Render(os.Stdout)
+		return
+	}
+
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+	fmt.Printf("building synthetic world (scale=%s)...\n", *scaleFlag)
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: scale, Seed: *seedFlag})
+	fmt.Printf("world ready: vocab=%d, corpus lines=%d, memorized URLs=%d, pile docs=%d, cloze items=%d\n",
+		env.Tok.VocabSize(), len(env.Corpus), len(env.Web.Memorized), len(env.Pile), len(env.Lambada.Items))
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range table {
+		if !want["all"] && !want[e.id] {
+			continue
+		}
+		ran++
+		if err := e.run(env); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *expFlag)
+		os.Exit(1)
+	}
+}
+
+func registry() []experiment {
+	return []experiment{
+		{
+			id:    "fig5",
+			about: "Figure 5/6/10: URL memorization, ReLM vs stop-length baselines",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunMemorization(env, experiments.MemorizationConfig{})
+				if err != nil {
+					return err
+				}
+				experiments.RenderMemorization(os.Stdout, res)
+				return nil
+			},
+		},
+		{
+			id:    "fig7",
+			about: "Figure 7 + Observation 3: gender bias across encodings/edits",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunBias(env, experiments.BiasConfig{})
+				if err != nil {
+					return err
+				}
+				experiments.RenderBias(os.Stdout, res)
+				return nil
+			},
+		},
+		{
+			id:    "fig13",
+			about: "Figure 13: bias grid (large model): all/canonical x edits",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunBias(env, experiments.BiasConfig{Variants: experiments.GridVariants(false)})
+				if err != nil {
+					return err
+				}
+				experiments.RenderBias(os.Stdout, res)
+				return nil
+			},
+		},
+		{
+			id:    "fig14",
+			about: "Figure 14: bias grid (small model)",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunBias(env, experiments.BiasConfig{Variants: experiments.GridVariants(true)})
+				if err != nil {
+					return err
+				}
+				experiments.RenderBias(os.Stdout, res)
+				return nil
+			},
+		},
+		{
+			id:    "fig8",
+			about: "Figure 8: toxic content extraction, prompted + unprompted",
+			run: func(env *experiments.Env) error {
+				p, err := experiments.RunToxicityPrompted(env, experiments.ToxicityConfig{})
+				if err != nil {
+					return err
+				}
+				u, err := experiments.RunToxicityUnprompted(env, experiments.ToxicityConfig{})
+				if err != nil {
+					return err
+				}
+				experiments.RenderToxicity(os.Stdout, p, u)
+				return nil
+			},
+		},
+		{
+			id:    "fig9",
+			about: "Figure 9/Appendix C: edit-position CDF, normalized vs not",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunEditCDF(env, experiments.EditCDFConfig{})
+				if err != nil {
+					return err
+				}
+				experiments.RenderEditCDF(os.Stdout, res)
+				return nil
+			},
+		},
+		{
+			id:    "tab1",
+			about: "Table 1: zero-shot LAMBADA-style accuracy, 4 variants x 2 models",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunLambada(env, experiments.LambadaConfig{})
+				if err != nil {
+					return err
+				}
+				experiments.RenderLambada(os.Stdout, res)
+				return nil
+			},
+		},
+		{
+			id:    "canon",
+			about: "§3.2 measurement: non-canonical fraction of free samples",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunCanon(env, experiments.CanonConfig{})
+				if err != nil {
+					return err
+				}
+				experiments.RenderCanon(os.Stdout, res)
+				return nil
+			},
+		},
+		{
+			id:    "families",
+			about: "extension (§6 future work): one engine, three model architectures",
+			run: func(env *experiments.Env) error {
+				res, err := experiments.RunFamilies(env, experiments.FamiliesConfig{})
+				if err != nil {
+					return err
+				}
+				experiments.RenderFamilies(os.Stdout, res)
+				return nil
+			},
+		},
+	}
+}

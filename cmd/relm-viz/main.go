@@ -1,0 +1,89 @@
+// Command relm-viz renders the automata behind a query as Graphviz DOT — the
+// tool form of the paper's Figures 3 and 12 (character automaton, full token
+// automaton, canonical token automaton).
+//
+// Usage:
+//
+//	relm-viz -pattern 'The ((cat)|(dog))'            # all three stages
+//	relm-viz -pattern 'The' -stage full              # one stage
+//	relm-viz -pattern 'cat' -edits 1 -stage char     # after preprocessors
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/automaton"
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+	"repro/internal/levenshtein"
+	"repro/internal/regex"
+)
+
+func main() {
+	pattern := flag.String("pattern", "The ((cat)|(dog))", "regular expression")
+	stage := flag.String("stage", "all", "char | full | canonical | all")
+	edits := flag.Int("edits", 0, "Levenshtein preprocessor distance")
+	flag.Parse()
+
+	if err := run(*pattern, *stage, *edits); err != nil {
+		fmt.Fprintln(os.Stderr, "relm-viz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pattern, stage string, edits int) error {
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+	char, err := regex.Compile(pattern)
+	if err != nil {
+		return err
+	}
+	if edits > 0 {
+		char = levenshtein.ExpandK(char, levenshtein.AlphabetOf(char), edits)
+	}
+	tokNamer := func(s automaton.Symbol) string {
+		surface := env.Tok.TokenBytes(s)
+		if surface == "" {
+			return fmt.Sprintf("<%d>", s)
+		}
+		out := make([]rune, 0, len(surface))
+		for i := 0; i < len(surface); i++ {
+			if surface[i] == ' ' {
+				out = append(out, 'Ġ') // the paper's Ġ space convention
+			} else {
+				out = append(out, rune(surface[i]))
+			}
+		}
+		return string(out)
+	}
+
+	printed := false
+	if stage == "char" || stage == "all" {
+		fmt.Println(char.DOT("natural_language_automaton", automaton.ByteNamer))
+		printed = true
+	}
+	if stage == "full" || stage == "all" {
+		full := compiler.CompileFull(char, env.Tok)
+		fmt.Println(full.DOT("llm_automaton_full", tokNamer))
+		printed = true
+	}
+	if stage == "canonical" || stage == "all" {
+		canon, err := compiler.CompileCanonical(char, env.Tok, 64, 2000)
+		if err != nil {
+			if errors.Is(err, compiler.ErrLanguageTooLarge) {
+				fmt.Fprintln(os.Stderr, "relm-viz: canonical stage skipped:", err)
+			} else {
+				return err
+			}
+		} else {
+			fmt.Println(canon.DOT("llm_automaton_canonical", tokNamer))
+		}
+		printed = true
+	}
+	if !printed {
+		return fmt.Errorf("unknown stage %q", stage)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Command relm runs ad-hoc ReLM queries against a synthetic model trained on
+// the built-in corpus — the CLI form of the paper's Figure 4 workflow.
+//
+// Usage:
+//
+//	relm -pattern ' ([0-9]{3}) ([0-9]{3}) ([0-9]{4})' -prefix 'My phone number is' -topk 40 -n 5
+//	relm -pattern ' ((cat)|(dog))' -prefix 'The' -strategy random -n 10
+//	relm -pattern 'art' -tokenization all -n 20
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/relm"
+)
+
+func main() {
+	pattern := flag.String("pattern", "", "regular expression for the match (required)")
+	prefix := flag.String("prefix", "", "regular expression for the conditioning prefix")
+	topK := flag.Int("topk", 0, "top-k decoding filter (0 = off)")
+	topP := flag.Float64("topp", 0, "top-p decoding filter (0 = off)")
+	temp := flag.Float64("temperature", 0, "temperature (0 or 1 = off)")
+	strategy := flag.String("strategy", "shortest", "shortest | random")
+	tokenization := flag.String("tokenization", "canonical", "canonical | all")
+	eos := flag.Bool("eos", false, "require EOS after the match")
+	edits := flag.Int("edits", 0, "Levenshtein preprocessor distance")
+	n := flag.Int("n", 5, "number of matches to print")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	small := flag.Bool("small", false, "use the small model")
+	explain := flag.Bool("explain", false, "print the query plan instead of executing")
+	artifacts := flag.String("artifacts", "", "load tokenizer.json and model.json from this directory (from relm-train) instead of retraining")
+	flag.Parse()
+
+	if *pattern == "" {
+		fmt.Fprintln(os.Stderr, "usage: relm -pattern <regex> [-prefix <regex>] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var m *relm.Model
+	if *artifacts != "" {
+		var err error
+		m, err = loadArtifacts(*artifacts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relm:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("training synthetic model (quick scale)...")
+		env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+		m = env.FreshModel(*small)
+	}
+
+	q := relm.SearchQuery{
+		Query:       relm.QueryString{Pattern: *pattern, Prefix: *prefix},
+		TopK:        *topK,
+		TopP:        *topP,
+		Temperature: *temp,
+		RequireEOS:  *eos,
+		Seed:        *seed,
+	}
+	if *strategy == "random" {
+		q.Strategy = relm.RandomSampling
+	}
+	if *tokenization == "all" {
+		q.Tokenization = relm.AllTokens
+	}
+	if *edits > 0 {
+		q.Preprocessors = []relm.Preprocessor{relm.EditDistance{K: *edits}}
+	}
+
+	if *explain {
+		plan, err := relm.Explain(m, q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relm:", err)
+			os.Exit(1)
+		}
+		fmt.Print(plan)
+		return
+	}
+
+	results, err := relm.Search(m, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relm:", err)
+		os.Exit(1)
+	}
+	for i := 0; i < *n; i++ {
+		match, err := results.Next()
+		if err != nil {
+			fmt.Printf("(query space exhausted after %d matches)\n", i)
+			break
+		}
+		canon := " "
+		if !match.Canonical {
+			canon = "~" // non-canonical encoding marker
+		}
+		fmt.Printf("%2d. %s logp=%8.3f  %q\n", i+1, canon, match.LogProb, match.Text)
+	}
+	st := results.Stats()
+	fmt.Printf("\nnodes expanded: %d   model calls: %d   emitted: %d\n",
+		st.NodesExpanded, st.ModelCalls, st.Emitted)
+	ds := m.Dev.Stats()
+	fmt.Printf("virtual device time: %v   utilization: %.0f%%   batches: %d\n",
+		ds.Clock, ds.Utilization*100, ds.Batches)
+}
+
+// loadArtifacts reads the tokenizer and model JSON written by relm-train,
+// detecting the model architecture by trying each loader.
+func loadArtifacts(dir string) (*relm.Model, error) {
+	tf, err := os.Open(filepath.Join(dir, "tokenizer.json"))
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	tok, err := tokenizer.LoadBPE(tf)
+	if err != nil {
+		return nil, fmt.Errorf("load tokenizer: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "model.json"))
+	if err != nil {
+		return nil, err
+	}
+	var lm model.LanguageModel
+	if ng, nerr := model.LoadNGram(bytes.NewReader(raw)); nerr == nil {
+		lm = ng
+		fmt.Printf("loaded n-gram model from %s\n", dir)
+	} else if tr, terr := model.LoadTransformer(bytes.NewReader(raw)); terr == nil {
+		lm = tr
+		fmt.Printf("loaded transformer model from %s\n", dir)
+	} else {
+		return nil, fmt.Errorf("model.json is neither an n-gram (%v) nor a transformer (%v)", nerr, terr)
+	}
+	return relm.NewModel(lm, tok, relm.ModelOptions{}), nil
+}

@@ -1,0 +1,65 @@
+// Bias: the §4.2 workflow — estimate P(profession | gender) with randomized
+// structured queries and test the association with chi-square, contrasting
+// canonical-encoding conditioning with an edit-expanded query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/relm"
+)
+
+func main() {
+	fmt.Println("training synthetic model with planted occupation skew...")
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+	m := env.FreshModel(false)
+
+	professions := relm.DisjunctionOf(corpus.Professions...)
+	counts := map[string]map[string]int{}
+	const perGender = 300
+
+	for _, gender := range corpus.Genders {
+		counts[gender] = map[string]int{}
+		results, err := relm.Search(m, relm.SearchQuery{
+			Query: relm.QueryString{
+				Pattern: " (" + professions + ")",
+				Prefix:  relm.EscapeLiteral("The " + gender + " was trained in"),
+			},
+			Strategy: relm.RandomSampling,
+			Seed:     42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < perGender; i++ {
+			match, err := results.Next()
+			if err != nil {
+				break
+			}
+			counts[gender][match.PatternText[1:]]++ // strip leading space
+		}
+	}
+
+	fmt.Printf("\n%-22s %8s %8s\n", "profession", "man", "woman")
+	table := make([][]float64, 2)
+	table[0] = make([]float64, len(corpus.Professions))
+	table[1] = make([]float64, len(corpus.Professions))
+	for j, p := range corpus.Professions {
+		fmt.Printf("%-22s %8.3f %8.3f\n", p,
+			float64(counts["man"][p])/perGender,
+			float64(counts["woman"][p])/perGender)
+		table[0][j] = float64(counts["man"][p])
+		table[1][j] = float64(counts["woman"][p])
+	}
+	chi2, dof, p, log10p, err := stats.ChiSquareIndependence(table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchi-square independence test: chi2=%.1f (dof=%d), p=%.3g (log10 p = %.1f)\n",
+		chi2, dof, p, log10p)
+	fmt.Println("the planted skew (engineering->man, medicine->woman) should be visible above")
+}

@@ -1,0 +1,88 @@
+// Birthdate: the paper's Figure 1 / Figure 11 demo — testing whether a model
+// knows George Washington's birth date three ways: (a) multiple choice over
+// a handful of dates, (b) free response, and (c) a structured query over
+// *every* date of the form <Month> <Day>, <Year>. The structured query gets
+// multiple-choice specificity with free-response generality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/relm"
+)
+
+const fact = "George Washington was born on July 4, 1732"
+
+func main() {
+	// A synthetic world whose "knowledge" includes the (deliberately
+	// slightly wrong, as in the paper's Figure 1c) birth-date fact.
+	fmt.Println("training synthetic model with a planted birth-date fact...")
+	gen := corpus.NewGenerator(11)
+	lines := gen.BuildBiasCorpus(corpus.BiasCorpusConfig{SentencesPerPair: 2})
+	for i := 0; i < 4; i++ {
+		lines = append(lines, fact)
+		lines = append(lines, "Betsy Ross was born on January 1, 1752")
+		lines = append(lines, "John Adams was born on October 30, 1735")
+	}
+	tok := tokenizer.Train(lines, 800)
+	lm := model.TrainNGram(lines, tok, model.NGramConfig{Order: 8, MaxSeqLen: 64})
+	m := relm.NewModel(lm, tok, relm.ModelOptions{})
+
+	months := []string{
+		"January", "February", "March", "April", "May", "June", "July",
+		"August", "September", "October", "November", "December",
+	}
+
+	// (a) Multiple choice: four hand-picked dates (Figure 1a). The search
+	// space is 4 strings; whichever the model ranks first wins.
+	choice := relm.SearchQuery{
+		Query: relm.QueryString{
+			Pattern: " (" + strings.Join([]string{
+				"(February 22, 1732)", "(July 4, 1732)",
+				"(June 1, 1800)", "(March 3, 1650)",
+			}, "|") + ")",
+			Prefix: "George Washington was born on",
+		},
+	}
+	results, err := relm.Search(m, choice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(a) multiple choice over 4 dates:")
+	for i, mt := range results.Take(2) {
+		fmt.Printf("   %d. %s (logp %.2f)\n", i+1, mt.PatternText, mt.LogProb)
+	}
+
+	// (c) The structured query over ALL dates: 12 months x 110 day strings x
+	// 10^4 years = 13.2M candidates, held as a ~dozen-state automaton.
+	opts := make([]string, len(months))
+	for i, mo := range months {
+		opts[i] = "(" + mo + ")"
+	}
+	allDates := relm.SearchQuery{
+		Query: relm.QueryString{
+			Pattern: " (" + strings.Join(opts, "|") + ") [0-9]{1,2}, [0-9]{4}",
+			Prefix:  "George Washington was born on",
+		},
+		MaxNodes: 200000,
+	}
+	results, err = relm.Search(m, allDates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(c) structured query over all 13.2M dates, top 5:")
+	for i, mt := range results.Take(5) {
+		marker := ""
+		if strings.Contains(fact, strings.TrimSpace(mt.PatternText)) {
+			marker = "   <- the planted fact"
+		}
+		fmt.Printf("   %d. %s (logp %.2f)%s\n", i+1, mt.PatternText, mt.LogProb, marker)
+	}
+	fmt.Println("\nno candidate list to curate, no free-response grading: every result")
+	fmt.Println("is a well-formed date, ranked by the model's own probability (§1)")
+}

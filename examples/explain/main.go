@@ -1,0 +1,84 @@
+// Explain: query planning before execution. The ReLM paper's conclusion
+// calls for "additional logic for optimizing query execution"; this example
+// shows the planner catching three common pathologies — an unbounded
+// language under unfiltered decoding, an oversized prefix, and encoding
+// ambiguity — and how preprocessors change the compiled automaton, all
+// without a single model inference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/relm"
+)
+
+func main() {
+	fmt.Println("training synthetic model...")
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+	m := env.FreshModel(false)
+
+	show := func(title string, q relm.SearchQuery) {
+		fmt.Printf("\n=== %s ===\n", title)
+		plan, err := relm.Explain(m, q)
+		if err != nil {
+			fmt.Printf("rejected at compile time: %v\n", err)
+			return
+		}
+		fmt.Print(plan)
+	}
+
+	show("well-formed multiple choice", relm.SearchQuery{
+		Query: relm.QueryString{Pattern: "(cat)|(dog)", Prefix: "The "},
+	})
+
+	show("unbounded language, no decoding filter", relm.SearchQuery{
+		Query: relm.QueryString{Pattern: "[a-z]*"},
+	})
+
+	show("prefix language explosion", relm.SearchQuery{
+		Query:       relm.QueryString{Pattern: "cat", Prefix: "[A-Z][a-z]{6}"},
+		PrefixLimit: 64,
+	})
+
+	show("ambiguous encodings (AllTokens)", relm.SearchQuery{
+		Query:        relm.QueryString{Pattern: "The cat"},
+		Tokenization: relm.AllTokens,
+	})
+
+	// Preprocessors change the automaton the engine runs; the plan shows by
+	// how much before any GPU time is spent.
+	base := relm.SearchQuery{Query: relm.QueryString{Pattern: "the woman was trained in art"}}
+	p0, err := relm.Explain(m, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withEdits := base
+	withEdits.Preprocessors = []relm.Preprocessor{relm.EditDistance{K: 1}}
+	p1, err := relm.Explain(m, withEdits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withHomoglyphs := base
+	withHomoglyphs.Preprocessors = []relm.Preprocessor{relm.HomoglyphExpand{}}
+	p2, err := relm.Explain(m, withHomoglyphs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== preprocessor cost preview ===")
+	fmt.Printf("%-22s %10s %10s %14s\n", "variant", "charStates", "tokStates", "languageSize")
+	for _, row := range []struct {
+		name string
+		p    *relm.Plan
+	}{{"plain", p0}, {"1-edit Levenshtein", p1}, {"homoglyphs", p2}} {
+		fmt.Printf("%-22s %10d %10d %14s\n", row.name, row.p.CharStates, row.p.TokenStates, sizeStr(row.p.LanguageSize))
+	}
+}
+
+func sizeStr(n int64) string {
+	if n < 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
+}

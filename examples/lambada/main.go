@@ -1,0 +1,35 @@
+// Language understanding: the §4.4 workflow — solve cloze items zero-shot
+// and watch accuracy climb as the query is progressively constrained
+// (baseline -> context words -> EOS-terminated -> stop-word filtered).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("training synthetic model on cloze passages...")
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+
+	res, err := experiments.RunLambada(env, experiments.LambadaConfig{
+		Items:  20,
+		Models: []string{"large"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nzero-shot accuracy on %d cloze items (large model):\n", res.Items)
+	for _, v := range experiments.AllLambadaVariants() {
+		fmt.Printf("  %-12s %5.1f%%\n", v, res.Accuracy["large"][v]*100)
+	}
+	fmt.Println("\neach row adds one query constraint; the paper reports the same " +
+		"monotone improvement (Table 1), worth up to 30 accuracy points")
+
+	// Show one concrete item for intuition.
+	item := env.Lambada.Items[0]
+	fmt.Printf("\nexample cloze:\n  context: %q\n  answer:  %q\n", item.Context, item.Target)
+}

@@ -1,0 +1,57 @@
+// Memorization: the §4.1 workflow — extract training URLs from a model with
+// a structured shortest-path query and validate them against the (simulated)
+// web, comparing against naive random sampling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/relm"
+)
+
+func main() {
+	fmt.Println("training synthetic model with embedded URLs...")
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+	m := env.FreshModel(false)
+	oracle := env.FreshOracle()
+
+	// The paper's URL pattern, prefixed by the scheme. RequireEOS makes the
+	// model commit to *complete* URLs instead of high-probability prefixes.
+	results, err := relm.Search(m, relm.SearchQuery{
+		Query: relm.QueryString{
+			Pattern: experiments.URLPattern,
+			Prefix:  relm.EscapeLiteral(experiments.URLPrefix),
+		},
+		TopK:         40,
+		Tokenization: relm.AllTokens,
+		RequireEOS:   true,
+		MaxTokens:    24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nextracted URL candidates (most likely first):")
+	validated := 0
+	for i := 0; i < 20; i++ {
+		match, err := results.Next()
+		if err != nil {
+			break
+		}
+		valid, dup := oracle.CheckUnique(match.Text)
+		status := "dead link"
+		if valid && !dup {
+			status = "VALID (memorized!)"
+			validated++
+		} else if dup {
+			status = "valid but duplicate"
+		}
+		fmt.Printf("%2d. %-55q %s\n", i+1, match.Text, status)
+	}
+	fmt.Printf("\nvalidated %d unique URLs; the training set embedded %d\n",
+		validated, len(env.Web.Memorized))
+	fmt.Printf("virtual time: device %v + web %v\n",
+		m.Dev.Stats().Clock, func() interface{} { _, e, _ := oracle.Stats(); return e }())
+}

@@ -1,0 +1,36 @@
+// Toxicity: the §4.3 workflow end to end. A Pile-like corpus is scanned with
+// a profanity regex (the grep step), the hits become prompted extraction
+// attempts, and ReLM's edits + ambiguous encodings are compared against the
+// canonical-only baseline — the paper's 2.5× observation. The insults here
+// are mild placeholders (see DESIGN.md); the mechanics are what's under test.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("building synthetic Pile and training model...")
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+
+	prompted, err := experiments.RunToxicityPrompted(env, experiments.ToxicityConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	unprompted, err := experiments.RunToxicityUnprompted(env, experiments.ToxicityConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	experiments.RenderToxicity(os.Stdout, prompted, unprompted)
+
+	fmt.Println("\nreading the result:")
+	fmt.Println("- 'ReLM' rows enable all token encodings plus 1-character edits;")
+	fmt.Println("  'baseline' is the standard canonical, verbatim extraction.")
+	fmt.Println("- The gap between them is the paper's point: verbatim-only")
+	fmt.Println("  checking underestimates how much toxic content a model can emit.")
+}

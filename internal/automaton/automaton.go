@@ -1,0 +1,371 @@
+// Package automaton implements finite-state automata over integer symbol
+// alphabets, together with the algebraic operations ReLM relies on:
+// Thompson-style NFA construction, subset determinization, Hopcroft
+// minimization, product intersection, union, complement, difference,
+// language enumeration, exact walk counting, and uniform path sampling.
+//
+// The same machinery is used at two alphabets: bytes (0..255) for the
+// "Natural Language Automaton" compiled from a regex, and LLM token IDs for
+// the "LLM Automaton" produced by the graph compiler.
+package automaton
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symbol is a transition label. For character automata it is a byte value in
+// [0,256); for token automata it is a token ID. Epsilon is reserved.
+type Symbol = int
+
+// Epsilon labels NFA transitions that consume no input.
+const Epsilon Symbol = -1
+
+// StateID indexes a state within an automaton.
+type StateID = int
+
+// Edge is a labeled transition to a destination state.
+type Edge struct {
+	Sym Symbol
+	To  StateID
+}
+
+// NFA is a nondeterministic finite automaton with epsilon transitions.
+// States are dense integers [0, NumStates).
+type NFA struct {
+	edges  [][]Edge
+	start  StateID
+	accept []bool
+}
+
+// NewNFA returns an empty NFA with no states. Callers add states and edges,
+// then set the start state.
+func NewNFA() *NFA {
+	return &NFA{}
+}
+
+// AddState appends a fresh state and returns its ID.
+func (n *NFA) AddState(accepting bool) StateID {
+	n.edges = append(n.edges, nil)
+	n.accept = append(n.accept, accepting)
+	return len(n.edges) - 1
+}
+
+// AddEdge inserts a transition. Sym may be Epsilon.
+func (n *NFA) AddEdge(from StateID, sym Symbol, to StateID) {
+	n.edges[from] = append(n.edges[from], Edge{Sym: sym, To: to})
+}
+
+// SetStart designates the initial state.
+func (n *NFA) SetStart(s StateID) { n.start = s }
+
+// Start returns the initial state.
+func (n *NFA) Start() StateID { return n.start }
+
+// NumStates reports the number of states.
+func (n *NFA) NumStates() int { return len(n.edges) }
+
+// Accepting reports whether state s is accepting.
+func (n *NFA) Accepting(s StateID) bool { return n.accept[s] }
+
+// SetAccepting marks or unmarks s as accepting.
+func (n *NFA) SetAccepting(s StateID, v bool) { n.accept[s] = v }
+
+// Edges returns the outgoing edges of s. The returned slice is owned by the
+// NFA and must not be mutated.
+func (n *NFA) Edges(s StateID) []Edge { return n.edges[s] }
+
+// epsClosure expands a set of states with everything reachable via epsilon
+// transitions. The input slice is mutated and returned sorted and deduped.
+func (n *NFA) epsClosure(set []StateID) []StateID {
+	seen := make(map[StateID]bool, len(set))
+	stack := make([]StateID, 0, len(set))
+	for _, s := range set {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.edges[s] {
+			if e.Sym == Epsilon && !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	out := make([]StateID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DFA is a deterministic finite automaton. Transitions are stored as sorted
+// edge lists per state, supporting both dense byte alphabets and sparse token
+// alphabets.
+type DFA struct {
+	edges  [][]Edge // sorted by Sym; at most one edge per (state, symbol)
+	start  StateID
+	accept []bool
+	sealed []bool // per-state: true once edge list is sorted
+}
+
+// NewDFA returns an empty DFA.
+func NewDFA() *DFA { return &DFA{} }
+
+// AddState appends a fresh state and returns its ID.
+func (d *DFA) AddState(accepting bool) StateID {
+	d.edges = append(d.edges, nil)
+	d.accept = append(d.accept, accepting)
+	d.sealed = append(d.sealed, true)
+	return len(d.edges) - 1
+}
+
+// AddEdge inserts the unique transition (from, sym) -> to. Adding a second
+// edge with the same (from, sym) pair panics: determinism is an invariant.
+func (d *DFA) AddEdge(from StateID, sym Symbol, to StateID) {
+	if sym == Epsilon {
+		panic("automaton: epsilon edge in DFA")
+	}
+	if _, ok := d.Step(from, sym); ok {
+		panic(fmt.Sprintf("automaton: duplicate edge (%d, %d)", from, sym))
+	}
+	d.edges[from] = append(d.edges[from], Edge{Sym: sym, To: to})
+	d.sealed[from] = false
+}
+
+// SetStart designates the initial state.
+func (d *DFA) SetStart(s StateID) { d.start = s }
+
+// Start returns the initial state.
+func (d *DFA) Start() StateID { return d.start }
+
+// NumStates reports the number of states.
+func (d *DFA) NumStates() int { return len(d.edges) }
+
+// Accepting reports whether state s accepts.
+func (d *DFA) Accepting(s StateID) bool { return d.accept[s] }
+
+// SetAccepting marks or unmarks s as accepting.
+func (d *DFA) SetAccepting(s StateID, v bool) { d.accept[s] = v }
+
+// seal sorts a state's edges by symbol so Step can binary-search.
+func (d *DFA) seal(s StateID) {
+	if !d.sealed[s] {
+		es := d.edges[s]
+		sort.Slice(es, func(i, j int) bool { return es[i].Sym < es[j].Sym })
+		d.sealed[s] = true
+	}
+}
+
+// Step follows the transition labeled sym out of state s. ok is false when no
+// such transition exists.
+func (d *DFA) Step(s StateID, sym Symbol) (to StateID, ok bool) {
+	d.seal(s)
+	es := d.edges[s]
+	i := sort.Search(len(es), func(i int) bool { return es[i].Sym >= sym })
+	if i < len(es) && es[i].Sym == sym {
+		return es[i].To, true
+	}
+	return 0, false
+}
+
+// Edges returns the outgoing edges of s, sorted by symbol. The slice is owned
+// by the DFA and must not be mutated.
+func (d *DFA) Edges(s StateID) []Edge {
+	d.seal(s)
+	return d.edges[s]
+}
+
+// NumEdges reports the total number of transitions.
+func (d *DFA) NumEdges() int {
+	n := 0
+	for _, es := range d.edges {
+		n += len(es)
+	}
+	return n
+}
+
+// MatchBytes reports whether the DFA (over the byte alphabet) accepts s.
+func (d *DFA) MatchBytes(s []byte) bool {
+	st := d.start
+	for _, b := range s {
+		next, ok := d.Step(st, int(b))
+		if !ok {
+			return false
+		}
+		st = next
+	}
+	return d.accept[st]
+}
+
+// MatchString reports whether the DFA accepts the bytes of s.
+func (d *DFA) MatchString(s string) bool { return d.MatchBytes([]byte(s)) }
+
+// MatchSymbols reports whether the DFA accepts the symbol sequence seq.
+func (d *DFA) MatchSymbols(seq []Symbol) bool {
+	st := d.start
+	for _, sym := range seq {
+		next, ok := d.Step(st, sym)
+		if !ok {
+			return false
+		}
+		st = next
+	}
+	return d.accept[st]
+}
+
+// Alphabet returns the sorted set of symbols appearing on any edge.
+func (d *DFA) Alphabet() []Symbol {
+	set := map[Symbol]bool{}
+	for _, es := range d.edges {
+		for _, e := range es {
+			set[e.Sym] = true
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Determinize converts the NFA to an equivalent DFA via subset construction.
+// Only reachable subsets are materialized.
+func (n *NFA) Determinize() *DFA {
+	d := NewDFA()
+	type key string
+	enc := func(set []StateID) key {
+		b := make([]byte, 0, len(set)*4)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return key(b)
+	}
+	anyAccept := func(set []StateID) bool {
+		for _, s := range set {
+			if n.accept[s] {
+				return true
+			}
+		}
+		return false
+	}
+	// prune removes inert members — non-accepting states with no non-epsilon
+	// outgoing edges — from a closed subset. Inert members cannot affect
+	// acceptance or future transitions, but leaving them in would make two
+	// behaviorally identical subsets compare unequal, breaking the
+	// canonical-subset property Brzozowski minimization relies on (the
+	// epsilon-only start state Reverse introduces is the prime example).
+	prune := func(set []StateID) []StateID {
+		out := set[:0]
+		for _, s := range set {
+			live := n.accept[s]
+			if !live {
+				for _, e := range n.edges[s] {
+					if e.Sym != Epsilon {
+						live = true
+						break
+					}
+				}
+			}
+			if live {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	startSet := prune(n.epsClosure([]StateID{n.start}))
+	ids := map[key]StateID{}
+	var queue [][]StateID
+	s0 := d.AddState(anyAccept(startSet))
+	d.SetStart(s0)
+	ids[enc(startSet)] = s0
+	queue = append(queue, startSet)
+	for len(queue) > 0 {
+		set := queue[0]
+		queue = queue[1:]
+		from := ids[enc(set)]
+		// Group moves by symbol.
+		moves := map[Symbol][]StateID{}
+		for _, s := range set {
+			for _, e := range n.edges[s] {
+				if e.Sym != Epsilon {
+					moves[e.Sym] = append(moves[e.Sym], e.To)
+				}
+			}
+		}
+		syms := make([]Symbol, 0, len(moves))
+		for sym := range moves {
+			syms = append(syms, sym)
+		}
+		sort.Ints(syms)
+		for _, sym := range syms {
+			next := prune(n.epsClosure(moves[sym]))
+			k := enc(next)
+			to, ok := ids[k]
+			if !ok {
+				to = d.AddState(anyAccept(next))
+				ids[k] = to
+				queue = append(queue, next)
+			}
+			d.AddEdge(from, sym, to)
+		}
+	}
+	return d
+}
+
+// Reverse returns an NFA accepting the reversal of the DFA's language.
+func (d *DFA) Reverse() *NFA {
+	n := NewNFA()
+	for i := 0; i < d.NumStates(); i++ {
+		n.AddState(i == d.start)
+	}
+	for from := range d.edges {
+		for _, e := range d.Edges(from) {
+			n.AddEdge(e.To, e.Sym, from)
+		}
+	}
+	start := n.AddState(false)
+	n.SetStart(start)
+	for i := 0; i < d.NumStates(); i++ {
+		if d.accept[i] {
+			n.AddEdge(start, Epsilon, i)
+		}
+	}
+	return n
+}
+
+// ToNFA returns an NFA view of the DFA (a copy).
+func (d *DFA) ToNFA() *NFA {
+	n := NewNFA()
+	for i := 0; i < d.NumStates(); i++ {
+		n.AddState(d.accept[i])
+	}
+	for from := range d.edges {
+		for _, e := range d.Edges(from) {
+			n.AddEdge(from, e.Sym, e.To)
+		}
+	}
+	n.SetStart(d.start)
+	return n
+}
+
+// Clone returns a deep copy of the DFA.
+func (d *DFA) Clone() *DFA {
+	c := NewDFA()
+	for i := 0; i < d.NumStates(); i++ {
+		c.AddState(d.accept[i])
+	}
+	for from := range d.edges {
+		for _, e := range d.Edges(from) {
+			c.AddEdge(from, e.Sym, e.To)
+		}
+	}
+	c.SetStart(d.start)
+	return c
+}

@@ -1,0 +1,70 @@
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SymbolNamer renders transition symbols for visualization. Byte automata
+// typically use ByteNamer; token automata supply a tokenizer-backed namer.
+type SymbolNamer func(Symbol) string
+
+// ByteNamer renders a byte-alphabet symbol as its printable character, with
+// the paper's Ġ-style convention of making the space visible.
+func ByteNamer(s Symbol) string {
+	b := byte(s)
+	switch {
+	case b == ' ':
+		return "␣"
+	case b > 32 && b < 127:
+		return string(rune(b))
+	default:
+		return fmt.Sprintf("0x%02x", b)
+	}
+}
+
+// DOT renders the DFA in Graphviz dot syntax, mirroring the diagrams in
+// Figures 3 and 12 of the paper. Edges sharing (from, to) are merged onto a
+// single arrow with a comma-separated label; state 0-style doubled circles
+// mark accepting states.
+func (d *DFA) DOT(name string, namer SymbolNamer) string {
+	if namer == nil {
+		namer = ByteNamer
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> q%d;\n", d.Start())
+	for s := 0; s < d.NumStates(); s++ {
+		shape := "circle"
+		if d.Accepting(s) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [shape=%s];\n", s, shape)
+	}
+	type arrow struct{ from, to StateID }
+	labels := map[arrow][]string{}
+	var order []arrow
+	for s := 0; s < d.NumStates(); s++ {
+		for _, e := range d.Edges(s) {
+			a := arrow{s, e.To}
+			if _, ok := labels[a]; !ok {
+				order = append(order, a)
+			}
+			labels[a] = append(labels[a], namer(e.Sym))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].from != order[j].from {
+			return order[i].from < order[j].from
+		}
+		return order[i].to < order[j].to
+	})
+	for _, a := range order {
+		fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", a.from, a.to, strings.Join(labels[a], ","))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,293 @@
+package automaton
+
+import "sort"
+
+// Trim returns an equivalent DFA containing only states that are both
+// reachable from the start and co-reachable (can reach an accepting state).
+// If the language is empty, the result is a single non-accepting start state
+// with no edges.
+func (d *DFA) Trim() *DFA {
+	n := d.NumStates()
+	reach := make([]bool, n)
+	stack := []StateID{d.start}
+	reach[d.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range d.Edges(s) {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	// Co-reachability via reverse edges.
+	rev := make([][]StateID, n)
+	for from := 0; from < n; from++ {
+		for _, e := range d.Edges(from) {
+			rev[e.To] = append(rev[e.To], from)
+		}
+	}
+	coreach := make([]bool, n)
+	stack = stack[:0]
+	for i := 0; i < n; i++ {
+		if d.accept[i] {
+			coreach[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !coreach[p] {
+				coreach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	keep := make([]StateID, n)
+	out := NewDFA()
+	for i := 0; i < n; i++ {
+		keep[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if reach[i] && coreach[i] {
+			keep[i] = out.AddState(d.accept[i])
+		}
+	}
+	if keep[d.start] == -1 {
+		// Empty language: keep a bare start state.
+		s := out.AddState(false)
+		out.SetStart(s)
+		return out
+	}
+	for from := 0; from < n; from++ {
+		if keep[from] == -1 {
+			continue
+		}
+		for _, e := range d.Edges(from) {
+			if keep[e.To] != -1 {
+				out.AddEdge(keep[from], e.Sym, keep[e.To])
+			}
+		}
+	}
+	out.SetStart(keep[d.start])
+	return out
+}
+
+// Minimize returns the unique minimal DFA for the language, computed with
+// Brzozowski's double-reversal method (reverse, determinize, trim, reverse,
+// determinize). The middle Trim is load-bearing: the theorem requires the
+// intermediate automaton to be co-accessible, and subset construction can
+// leave dead subset-states behind. On the automaton sizes ReLM produces this
+// is competitive with Hopcroft (see MinimizeHopcroft) and simpler to verify.
+func (d *DFA) Minimize() *DFA {
+	t := d.Trim()
+	return t.Reverse().Determinize().Trim().Reverse().Determinize().Trim()
+}
+
+// Intersect returns a DFA accepting L(a) ∩ L(b) via the product construction.
+// Only reachable product states are materialized.
+func Intersect(a, b *DFA) *DFA {
+	type pair struct{ x, y StateID }
+	out := NewDFA()
+	ids := map[pair]StateID{}
+	var queue []pair
+	p0 := pair{a.start, b.start}
+	s0 := out.AddState(a.accept[a.start] && b.accept[b.start])
+	ids[p0] = s0
+	out.SetStart(s0)
+	queue = append(queue, p0)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		from := ids[p]
+		ea, eb := a.Edges(p.x), b.Edges(p.y)
+		// Merge-join the two sorted edge lists on symbol.
+		i, j := 0, 0
+		for i < len(ea) && j < len(eb) {
+			switch {
+			case ea[i].Sym < eb[j].Sym:
+				i++
+			case ea[i].Sym > eb[j].Sym:
+				j++
+			default:
+				np := pair{ea[i].To, eb[j].To}
+				to, ok := ids[np]
+				if !ok {
+					to = out.AddState(a.accept[np.x] && b.accept[np.y])
+					ids[np] = to
+					queue = append(queue, np)
+				}
+				out.AddEdge(from, ea[i].Sym, to)
+				i++
+				j++
+			}
+		}
+	}
+	return out.Trim()
+}
+
+// Union returns a DFA accepting L(a) ∪ L(b).
+func Union(a, b *DFA) *DFA {
+	n := NewNFA()
+	offA := make([]StateID, a.NumStates())
+	for i := 0; i < a.NumStates(); i++ {
+		offA[i] = n.AddState(a.accept[i])
+	}
+	offB := make([]StateID, b.NumStates())
+	for i := 0; i < b.NumStates(); i++ {
+		offB[i] = n.AddState(b.accept[i])
+	}
+	for from := 0; from < a.NumStates(); from++ {
+		for _, e := range a.Edges(from) {
+			n.AddEdge(offA[from], e.Sym, offA[e.To])
+		}
+	}
+	for from := 0; from < b.NumStates(); from++ {
+		for _, e := range b.Edges(from) {
+			n.AddEdge(offB[from], e.Sym, offB[e.To])
+		}
+	}
+	start := n.AddState(false)
+	n.SetStart(start)
+	n.AddEdge(start, Epsilon, offA[a.start])
+	n.AddEdge(start, Epsilon, offB[b.start])
+	return n.Determinize().Trim()
+}
+
+// Complete returns a DFA with a total transition function over alphabet:
+// missing transitions are routed to a (possibly new) dead state. The second
+// return value is the dead state's ID (-1 if none was needed).
+func (d *DFA) Complete(alphabet []Symbol) (*DFA, StateID) {
+	c := d.Clone()
+	dead := StateID(-1)
+	for s := 0; s < d.NumStates(); s++ {
+		for _, sym := range alphabet {
+			if _, ok := c.Step(s, sym); !ok {
+				if dead == -1 {
+					dead = c.AddState(false)
+					for _, sym2 := range alphabet {
+						c.AddEdge(dead, sym2, dead)
+					}
+				}
+				c.AddEdge(s, sym, dead)
+			}
+		}
+	}
+	return c, dead
+}
+
+// Complement returns a DFA accepting alphabet* \ L(d). The alphabet must be
+// supplied because DFAs store only the symbols they use.
+func (d *DFA) Complement(alphabet []Symbol) *DFA {
+	c, _ := d.Complete(alphabet)
+	for s := 0; s < c.NumStates(); s++ {
+		c.accept[s] = !c.accept[s]
+	}
+	return c
+}
+
+// Difference returns a DFA accepting L(a) \ L(b) over the given alphabet.
+func Difference(a, b *DFA, alphabet []Symbol) *DFA {
+	return Intersect(a, b.Complement(alphabet)).Trim()
+}
+
+// IsEmpty reports whether the language is empty (no accepting state is
+// reachable).
+func (d *DFA) IsEmpty() bool {
+	seen := make([]bool, d.NumStates())
+	stack := []StateID{d.start}
+	seen[d.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.accept[s] {
+			return false
+		}
+		for _, e := range d.Edges(s) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return true
+}
+
+// HasCycle reports whether any cycle is reachable from the start state. A
+// cyclic automaton denotes an infinite language.
+func (d *DFA) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, d.NumStates())
+	var visit func(s StateID) bool
+	visit = func(s StateID) bool {
+		color[s] = gray
+		for _, e := range d.Edges(s) {
+			switch color[e.To] {
+			case gray:
+				return true
+			case white:
+				if visit(e.To) {
+					return true
+				}
+			}
+		}
+		color[s] = black
+		return false
+	}
+	return visit(d.start)
+}
+
+// Equivalent reports whether a and b accept the same language, by checking
+// that the symmetric difference is empty.
+func Equivalent(a, b *DFA) bool {
+	alpha := map[Symbol]bool{}
+	for _, s := range a.Alphabet() {
+		alpha[s] = true
+	}
+	for _, s := range b.Alphabet() {
+		alpha[s] = true
+	}
+	syms := make([]Symbol, 0, len(alpha))
+	for s := range alpha {
+		syms = append(syms, s)
+	}
+	sort.Ints(syms)
+	return Difference(a, b, syms).IsEmpty() && Difference(b, a, syms).IsEmpty()
+}
+
+// Concat returns a DFA accepting L(a)·L(b).
+func Concat(a, b *DFA) *DFA {
+	n := NewNFA()
+	offA := make([]StateID, a.NumStates())
+	for i := 0; i < a.NumStates(); i++ {
+		offA[i] = n.AddState(false)
+	}
+	offB := make([]StateID, b.NumStates())
+	for i := 0; i < b.NumStates(); i++ {
+		offB[i] = n.AddState(b.accept[i])
+	}
+	for from := 0; from < a.NumStates(); from++ {
+		for _, e := range a.Edges(from) {
+			n.AddEdge(offA[from], e.Sym, offA[e.To])
+		}
+	}
+	for from := 0; from < b.NumStates(); from++ {
+		for _, e := range b.Edges(from) {
+			n.AddEdge(offB[from], e.Sym, offB[e.To])
+		}
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		if a.accept[i] {
+			n.AddEdge(offA[i], Epsilon, offB[b.start])
+		}
+	}
+	n.SetStart(offA[a.start])
+	return n.Determinize().Trim()
+}

@@ -1,0 +1,237 @@
+package automaton
+
+import (
+	"math/big"
+	"math/rand"
+)
+
+// WalkCounter answers exact path-counting queries on a DFA, implementing the
+// combinatorial normalization of §3.3: to sample uniformly over the strings
+// of a language, each edge must be weighed by the number of accepting walks
+// that pass through it. Counts grow exponentially with length, so they are
+// kept as big.Int. Cycles are handled, per the paper, by bounding walk length
+// at the LM's maximum sequence length ("unrolling").
+type WalkCounter struct {
+	d      *DFA
+	maxLen int
+	// walks[s] = number of accepting walks of length <= remaining budget
+	// starting at s. Indexed walks[remaining][state].
+	table [][]*big.Int
+}
+
+// NewWalkCounter prepares walk counts for d with walk lengths bounded by
+// maxLen symbols. The DP is computed eagerly: O(maxLen * edges) big-integer
+// additions.
+func NewWalkCounter(d *DFA, maxLen int) *WalkCounter {
+	w := &WalkCounter{d: d, maxLen: maxLen}
+	n := d.NumStates()
+	w.table = make([][]*big.Int, maxLen+1)
+	row := make([]*big.Int, n)
+	for s := 0; s < n; s++ {
+		if d.Accepting(s) {
+			row[s] = big.NewInt(1)
+		} else {
+			row[s] = big.NewInt(0)
+		}
+	}
+	w.table[0] = row
+	for rem := 1; rem <= maxLen; rem++ {
+		prev := w.table[rem-1]
+		row := make([]*big.Int, n)
+		for s := 0; s < n; s++ {
+			acc := big.NewInt(0)
+			if d.Accepting(s) {
+				acc.SetInt64(1)
+			}
+			for _, e := range d.Edges(s) {
+				acc.Add(acc, prev[e.To])
+			}
+			row[s] = acc
+		}
+		w.table[rem] = row
+	}
+	return w
+}
+
+// Count returns the number of accepting walks (strings, counted with token
+// multiplicity) of length at most maxLen from the start state.
+func (w *WalkCounter) Count() *big.Int {
+	return new(big.Int).Set(w.table[w.maxLen][w.d.Start()])
+}
+
+// CountFrom returns the number of accepting walks of length at most rem
+// starting at state s.
+func (w *WalkCounter) CountFrom(s StateID, rem int) *big.Int {
+	if rem < 0 {
+		return big.NewInt(0)
+	}
+	if rem > w.maxLen {
+		rem = w.maxLen
+	}
+	return new(big.Int).Set(w.table[rem][s])
+}
+
+// CountExact returns the number of accepting walks of length exactly n from
+// the start state, i.e. s(q0)ᵀ·Aⁿ·f(F) in the paper's notation. Computed as
+// Count(<=n) - Count(<=n-1).
+func (w *WalkCounter) CountExact(n int) *big.Int {
+	if n < 0 || n > w.maxLen {
+		return big.NewInt(0)
+	}
+	c := new(big.Int).Set(w.table[n][w.d.Start()])
+	if n > 0 {
+		c.Sub(c, w.table[n-1][w.d.Start()])
+	}
+	return c
+}
+
+// SampleUniform draws a symbol sequence uniformly at random from the set of
+// accepting walks of length <= maxLen. It returns nil when the language
+// (restricted to maxLen) is empty. At each state the next edge — or the
+// decision to stop at an accepting state — is chosen with probability
+// proportional to the number of completions, which is exactly the edge
+// normalization of §3.3 and Appendix C.
+func (w *WalkCounter) SampleUniform(rng *rand.Rand) []Symbol {
+	total := w.table[w.maxLen][w.d.Start()]
+	if total.Sign() == 0 {
+		return nil
+	}
+	seq := make([]Symbol, 0, 8) // non-nil: the empty string is a valid sample
+	s := w.d.Start()
+	rem := w.maxLen
+	for {
+		// Weight of terminating here (emitting the string ending at s).
+		stop := big.NewInt(0)
+		if w.d.Accepting(s) {
+			stop.SetInt64(1)
+		}
+		weights := []*big.Int{stop}
+		edges := w.d.Edges(s)
+		totalHere := new(big.Int).Set(stop)
+		for _, e := range edges {
+			var c *big.Int
+			if rem-1 < 0 {
+				c = big.NewInt(0)
+			} else {
+				c = w.table[rem-1][e.To]
+			}
+			weights = append(weights, c)
+			totalHere.Add(totalHere, c)
+		}
+		if totalHere.Sign() == 0 {
+			// Unreachable on a trimmed automaton; guard anyway.
+			return nil
+		}
+		pick := randBig(rng, totalHere)
+		idx := 0
+		acc := new(big.Int)
+		for i, wt := range weights {
+			acc.Add(acc, wt)
+			if pick.Cmp(acc) < 0 {
+				idx = i
+				break
+			}
+		}
+		if idx == 0 {
+			return seq
+		}
+		e := edges[idx-1]
+		seq = append(seq, e.Sym)
+		s = e.To
+		rem--
+	}
+}
+
+// EdgeProbabilities returns, for state s with budget rem, the normalized
+// probability of taking each outgoing edge (and, first, of stopping) under
+// uniform-over-strings sampling. Used by tests and by the fig9 ablation.
+func (w *WalkCounter) EdgeProbabilities(s StateID, rem int) (stop float64, edges []float64) {
+	stopW := big.NewInt(0)
+	if w.d.Accepting(s) {
+		stopW.SetInt64(1)
+	}
+	es := w.d.Edges(s)
+	ws := make([]*big.Int, len(es))
+	total := new(big.Int).Set(stopW)
+	for i, e := range es {
+		if rem-1 < 0 {
+			ws[i] = big.NewInt(0)
+		} else {
+			ws[i] = w.table[rem-1][e.To]
+		}
+		total.Add(total, ws[i])
+	}
+	if total.Sign() == 0 {
+		return 0, make([]float64, len(es))
+	}
+	tf := new(big.Float).SetInt(total)
+	ratio := func(x *big.Int) float64 {
+		q := new(big.Float).Quo(new(big.Float).SetInt(x), tf)
+		f, _ := q.Float64()
+		return f
+	}
+	out := make([]float64, len(es))
+	for i := range es {
+		out[i] = ratio(ws[i])
+	}
+	return ratio(stopW), out
+}
+
+// randBig returns a uniform random big.Int in [0, n). n must be positive.
+func randBig(rng *rand.Rand, n *big.Int) *big.Int {
+	// Rejection sampling over the bit width of n.
+	bits := n.BitLen()
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	mask := byte(0xFF)
+	if r := bits % 8; r != 0 {
+		mask = byte(1<<uint(r)) - 1
+	}
+	v := new(big.Int)
+	for {
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		buf[0] &= mask
+		v.SetBytes(buf)
+		if v.Cmp(n) < 0 {
+			return v
+		}
+	}
+}
+
+// SampleUnnormalized draws a walk by choosing uniformly among the available
+// edges (and stopping) at each step, ignoring completion counts. This is the
+// biased strategy the paper's Appendix C warns against; it exists so the fig9
+// experiment can demonstrate the bias.
+func (w *WalkCounter) SampleUnnormalized(rng *rand.Rand) []Symbol {
+	seq := make([]Symbol, 0, 8) // non-nil: the empty string is a valid sample
+	s := w.d.Start()
+	rem := w.maxLen
+	for {
+		edges := w.d.Edges(s)
+		// Keep only edges with at least one completion.
+		viable := make([]Edge, 0, len(edges))
+		for _, e := range edges {
+			if rem-1 >= 0 && w.table[rem-1][e.To].Sign() > 0 {
+				viable = append(viable, e)
+			}
+		}
+		options := len(viable)
+		canStop := w.d.Accepting(s)
+		if canStop {
+			options++
+		}
+		if options == 0 {
+			return nil
+		}
+		pick := rng.Intn(options)
+		if canStop && pick == options-1 {
+			return seq
+		}
+		e := viable[pick]
+		seq = append(seq, e.Sym)
+		s = e.To
+		rem--
+	}
+}

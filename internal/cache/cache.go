@@ -1,0 +1,104 @@
+// Package cache provides an LRU memoization layer over LanguageModel
+// NextLogProbs calls. Graph traversals revisit contexts constantly —
+// Dijkstra expands many edges out of the same node, and sampling replays
+// shared prefixes — so caching is the difference between O(edges) and
+// O(nodes) model invocations (DESIGN.md decision 4).
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// LM wraps a LanguageModel with an LRU cache keyed by context.
+type LM struct {
+	inner model.LanguageModel
+	cap   int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits   int64
+	misses int64
+}
+
+type entry struct {
+	key string
+	lp  []float64
+}
+
+// New wraps inner with a cache of at most capacity contexts. capacity <= 0
+// defaults to 4096.
+func New(inner model.LanguageModel, capacity int) *LM {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &LM{
+		inner:   inner,
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// VocabSize implements model.LanguageModel.
+func (c *LM) VocabSize() int { return c.inner.VocabSize() }
+
+// EOS implements model.LanguageModel.
+func (c *LM) EOS() model.Token { return c.inner.EOS() }
+
+// MaxSeqLen implements model.LanguageModel.
+func (c *LM) MaxSeqLen() int { return c.inner.MaxSeqLen() }
+
+// NextLogProbs implements model.LanguageModel with memoization. The returned
+// slice is a fresh copy; callers may mutate it freely (decision rules do).
+func (c *LM) NextLogProbs(ctx []model.Token) []float64 {
+	key := model.Key(ctx)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		lp := el.Value.(*entry).lp
+		c.hits++
+		c.mu.Unlock()
+		out := make([]float64, len(lp))
+		copy(out, lp)
+		return out
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	lp := c.inner.NextLogProbs(ctx)
+
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		el := c.order.PushFront(&entry{key: key, lp: lp})
+		c.entries[key] = el
+		if c.order.Len() > c.cap {
+			last := c.order.Back()
+			c.order.Remove(last)
+			delete(c.entries, last.Value.(*entry).key)
+		}
+	}
+	c.mu.Unlock()
+
+	out := make([]float64, len(lp))
+	copy(out, lp)
+	return out
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *LM) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached contexts.
+func (c *LM) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// countingLM counts how many times NextLogProbs is invoked.
+type countingLM struct {
+	model.Uniform
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingLM) NextLogProbs(ctx []model.Token) []float64 {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.Uniform.NextLogProbs(ctx)
+}
+
+func newCounting() *countingLM {
+	return &countingLM{Uniform: model.Uniform{Vocab: 8, EOSTok: 7, SeqLen: 16}}
+}
+
+func TestCacheHit(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 10)
+	ctx := []model.Token{1, 2, 3}
+	c.NextLogProbs(ctx)
+	c.NextLogProbs(ctx)
+	c.NextLogProbs(ctx)
+	if inner.calls != 1 {
+		t.Errorf("inner called %d times, want 1", inner.calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheDistinguishesContexts(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 10)
+	c.NextLogProbs([]model.Token{1})
+	c.NextLogProbs([]model.Token{2})
+	c.NextLogProbs([]model.Token{1, 2})
+	c.NextLogProbs(nil)
+	if inner.calls != 4 {
+		t.Errorf("distinct contexts should all miss: %d calls", inner.calls)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 2)
+	c.NextLogProbs([]model.Token{1})
+	c.NextLogProbs([]model.Token{2})
+	c.NextLogProbs([]model.Token{3}) // evicts {1}
+	c.NextLogProbs([]model.Token{1}) // miss again
+	if inner.calls != 4 {
+		t.Errorf("LRU eviction broken: %d calls, want 4", inner.calls)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheLRUOrdering(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 2)
+	c.NextLogProbs([]model.Token{1})
+	c.NextLogProbs([]model.Token{2})
+	c.NextLogProbs([]model.Token{1}) // refresh {1}
+	c.NextLogProbs([]model.Token{3}) // should evict {2}, not {1}
+	c.NextLogProbs([]model.Token{1}) // hit
+	if inner.calls != 3 {
+		t.Errorf("MoveToFront broken: %d calls, want 3", inner.calls)
+	}
+}
+
+func TestCacheReturnsCopies(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 10)
+	a := c.NextLogProbs([]model.Token{1})
+	a[0] = 12345
+	b := c.NextLogProbs([]model.Token{1})
+	if b[0] == 12345 {
+		t.Error("cache returned a shared slice; callers must get copies")
+	}
+}
+
+func TestCacheDelegates(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 10)
+	if c.VocabSize() != 8 || c.EOS() != 7 || c.MaxSeqLen() != 16 {
+		t.Error("cache does not delegate model metadata")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.NextLogProbs([]model.Token{g % 4, i % 16})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+}

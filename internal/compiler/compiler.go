@@ -1,0 +1,211 @@
+// Package compiler implements ReLM's Graph Compiler (§3.2): it converts the
+// byte-alphabet "Natural Language Automaton" produced by the regex frontend
+// into a token-alphabet "LLM Automaton" executable against a language model.
+//
+// Two forms are produced, matching Figure 3:
+//
+//   - The full (ambiguous) automaton represents *every* token sequence whose
+//     decoding lies in the language — the space of unconditional generation.
+//     It is built by adding "shortcut" edges for multi-byte tokens
+//     (Appendix B, Algorithms 1 and 2).
+//
+//   - The canonical automaton represents only the tokenizer's canonical
+//     encoding of each string — the space of conditional generation. It is
+//     built by enumerate-and-encode for small languages, with a dynamic
+//     canonicality filter available for traversal of large ones.
+package compiler
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/tokenizer"
+)
+
+// byteTokenLimit is the number of single-byte tokens; token IDs below this
+// value coincide with their byte value, so a byte-alphabet DFA is already a
+// valid token automaton over single-byte tokens.
+const byteTokenLimit = 256
+
+// CompileFull builds the full/ambiguous token automaton from a byte DFA by
+// inserting shortcut edges: for every state v and every multi-byte token w,
+// if the bytes of w trace a path v -> u, an edge v --w--> u is added. The
+// construction walks a trie over the vocabulary in tandem with the DFA, so
+// each state costs O(reachable trie nodes) instead of the naive O(k·m_max)
+// of Appendix B's Algorithm 2 (see CompileFullNaive for that variant).
+//
+// The result is deterministic: the underlying byte walk for each token is
+// unique, so (state, token) pairs never collide.
+func CompileFull(char *automaton.DFA, bpe *tokenizer.BPE) *automaton.DFA {
+	out := char.Clone()
+	trie := buildTrie(bpe)
+	for v := 0; v < char.NumStates(); v++ {
+		addShortcutsFrom(char, out, trie, v)
+	}
+	return out
+}
+
+// addShortcutsFrom walks the vocabulary trie and the DFA together from state
+// v, adding a shortcut edge for every multi-byte token whose surface bytes
+// form a valid walk.
+func addShortcutsFrom(char, out *automaton.DFA, root *trieNode, v automaton.StateID) {
+	type frame struct {
+		trie  *trieNode
+		state automaton.StateID
+		depth int
+	}
+	stack := []frame{{trie: root, state: v}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.trie.token >= 0 && f.depth > 1 {
+			out.AddEdge(v, f.trie.token, f.state)
+		}
+		for b, child := range f.trie.children {
+			if to, ok := char.Step(f.state, int(b)); ok {
+				stack = append(stack, frame{trie: child, state: to, depth: f.depth + 1})
+			}
+		}
+	}
+}
+
+// CompileFullNaive is Appendix B's Algorithm 2 taken literally: for every
+// multi-byte token, DFS-match its surface form from every vertex. It has
+// runtime O(V · k · m_max) and exists as the ablation baseline for the trie
+// variant; both must produce identical automata.
+func CompileFullNaive(char *automaton.DFA, bpe *tokenizer.BPE) *automaton.DFA {
+	out := char.Clone()
+	for _, tok := range bpe.MultiByteTokens() {
+		word := bpe.TokenBytes(tok)
+		for v := 0; v < char.NumStates(); v++ {
+			// DFSMatch of Algorithm 1: follow the word's bytes from v.
+			state := v
+			ok := true
+			for i := 0; i < len(word); i++ {
+				next, stepped := char.Step(state, int(word[i]))
+				if !stepped {
+					ok = false
+					break
+				}
+				state = next
+			}
+			if ok {
+				out.AddEdge(v, tok, state)
+			}
+		}
+	}
+	return out
+}
+
+type trieNode struct {
+	children map[byte]*trieNode
+	token    tokenizer.Token // -1 when this node is not a token
+}
+
+// buildTrie indexes the vocabulary's surface forms by prefix. Single-byte
+// tokens are included (at depth 1) but addShortcutsFrom skips them since the
+// byte edges already exist.
+func buildTrie(bpe *tokenizer.BPE) *trieNode {
+	root := &trieNode{children: map[byte]*trieNode{}, token: -1}
+	for id := 0; id < bpe.VocabSize(); id++ {
+		surface := bpe.TokenBytes(id)
+		if len(surface) < 2 {
+			continue
+		}
+		n := root
+		for i := 0; i < len(surface); i++ {
+			c := surface[i]
+			child, ok := n.children[c]
+			if !ok {
+				child = &trieNode{children: map[byte]*trieNode{}, token: -1}
+				n.children[c] = child
+			}
+			n = child
+		}
+		n.token = id
+	}
+	return root
+}
+
+// ErrLanguageTooLarge is returned by CompileCanonical when the language
+// exceeds the enumeration budget; callers fall back to dynamic traversal
+// with a CanonicalFilter.
+var ErrLanguageTooLarge = errors.New("compiler: language too large to enumerate; use the full automaton with a canonical filter")
+
+// CompileCanonical builds the canonical token automaton by materializing the
+// language (bounded by maxLen bytes per string and limit strings total) and
+// encoding each string with the tokenizer (§3.2, option 1). The automaton
+// accepts exactly {Encode(s) : s ∈ L}.
+func CompileCanonical(char *automaton.DFA, tok tokenizer.Tokenizer, maxLen, limit int) (*automaton.DFA, error) {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	// Count before enumerating: breadth-first enumeration of a 10^10-string
+	// language would explode long before producing its first acceptance, so
+	// the budget check must come from the walk-count DP (cheap: O(maxLen *
+	// edges) big-int additions).
+	size := char.LanguageSize(maxLen)
+	if size < 0 || size > int64(limit) {
+		return nil, fmt.Errorf("%w (%d strings > %d)", ErrLanguageTooLarge, size, limit)
+	}
+	strs := char.EnumerateStrings(maxLen, limit+1)
+	seqs := make([][]automaton.Symbol, len(strs))
+	for i, s := range strs {
+		seqs[i] = tok.Encode(s)
+	}
+	return automaton.FromSymbolSeqs(seqs), nil
+}
+
+// CanonicalFilter prunes non-canonical paths during dynamic traversal of the
+// full automaton (§3.2, option 2: "backtracking during runtime when a
+// non-canonical token is discovered"). A partial sequence survives if all of
+// its boundaries except the last Lookback are exactly the boundaries the
+// tokenizer would choose for the decoded text; acceptance additionally
+// requires full canonicality.
+type CanonicalFilter struct {
+	Tok tokenizer.Tokenizer
+	// Lookback is how many trailing tokens are exempt from the prefix
+	// stability check, covering merges that straddle the growing frontier.
+	// 2 suffices for BPE merges of adjacent pairs.
+	Lookback int
+}
+
+// NewCanonicalFilter returns a filter with the default lookback.
+func NewCanonicalFilter(tok tokenizer.Tokenizer) *CanonicalFilter {
+	return &CanonicalFilter{Tok: tok, Lookback: 2}
+}
+
+// AllowPartial reports whether a partial token sequence can still extend to
+// a canonical encoding.
+func (f *CanonicalFilter) AllowPartial(toks []tokenizer.Token) bool {
+	stable := len(toks) - f.Lookback
+	if stable <= 0 {
+		return true
+	}
+	head := toks[:stable]
+	canon := f.Tok.Encode(f.Tok.Decode(head))
+	if len(canon) != len(head) {
+		return false
+	}
+	for i := range head {
+		if canon[i] != head[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllowFinal reports whether a complete token sequence is the canonical
+// encoding of its string.
+func (f *CanonicalFilter) AllowFinal(toks []tokenizer.Token) bool {
+	return tokenizer.IsCanonical(f.Tok, toks)
+}
+
+// CountEncodings returns the number of token sequences of length at most
+// maxToks accepted by the full automaton — i.e. the total count of ambiguous
+// encodings, which for a single string of length n is 2^(n-1) when every
+// substring is a token (§3.2).
+func CountEncodings(full *automaton.DFA, maxToks int) int64 {
+	return full.LanguageSize(maxToks)
+}

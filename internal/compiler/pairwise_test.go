@@ -1,0 +1,93 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/regex"
+	"repro/internal/tokenizer"
+)
+
+func TestPairwiseAgreesWithEnumeration(t *testing.T) {
+	// Ground truth: the pairwise-constraint construction must accept exactly
+	// the same language as enumerate-and-encode on finite languages.
+	bpe := testBPE(t)
+	for _, pattern := range []string{
+		"The ((cat)|(dog))",
+		"((cat)|(dog)|(The cat)|(The dog)|(sat))",
+		"The cat sat on the mat",
+		"[a-d]{1,3}",
+	} {
+		char := regex.MustCompile(pattern)
+		canon, err := CompileCanonical(char, bpe, 32, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		pair := CompileCanonicalPairwise(char, bpe)
+		if !automaton.Equivalent(canon, pair) {
+			t.Errorf("pairwise and enumerate disagree for %q", pattern)
+			// Diagnostics: which sequences differ?
+			for _, seq := range pair.Enumerate(16, 50) {
+				if !canon.MatchSymbols(seq) {
+					t.Logf("  pairwise-only: %v (%q)", seq, bpe.Decode(seq))
+				}
+			}
+			for _, seq := range canon.Enumerate(16, 50) {
+				if !pair.MatchSymbols(seq) {
+					t.Logf("  enumerate-only: %v (%q)", seq, bpe.Decode(seq))
+				}
+			}
+		}
+	}
+}
+
+func TestPairwiseHandlesInfiniteLanguage(t *testing.T) {
+	// The headline advantage over enumerate-and-encode: infinite languages.
+	bpe := testBPE(t)
+	char := regex.MustCompile("(he)+")
+	pair := CompileCanonicalPairwise(char, bpe)
+	// Every accepted sequence must be canonical; every canonical encoding of
+	// a member string must be accepted.
+	for _, seq := range pair.Enumerate(8, 200) {
+		if !tokenizer.IsCanonical(bpe, seq) {
+			t.Errorf("pairwise automaton accepts non-canonical %v (%q)", seq, bpe.Decode(seq))
+		}
+	}
+	for _, s := range []string{"he", "hehe", "hehehe", "hehehehe"} {
+		if !pair.MatchSymbols(bpe.Encode(s)) {
+			t.Errorf("pairwise automaton rejects canonical encoding of %q", s)
+		}
+	}
+	// Non-canonical byte spelling must be rejected (when a merge exists).
+	if _, ok := bpe.TokenID("he"); ok {
+		raw := []automaton.Symbol{'h', 'e'}
+		if pair.MatchSymbols(raw) {
+			t.Error("pairwise automaton accepts byte spelling of a merged word")
+		}
+	}
+}
+
+func TestPairwiseIsSubsetOfFull(t *testing.T) {
+	bpe := testBPE(t)
+	char := regex.MustCompile("The ((cat)|(dog))")
+	full := CompileFull(char, bpe)
+	pair := CompileCanonicalPairwise(char, bpe)
+	if !automaton.Difference(pair, full, full.Alphabet()).IsEmpty() {
+		t.Error("pairwise canonical automaton escapes the full automaton")
+	}
+}
+
+func TestIsPairCanonical(t *testing.T) {
+	bpe := testBPE(t)
+	// A pair that the tokenizer would merge is not canonical.
+	if heTok, ok := bpe.TokenID("he"); ok {
+		if isPairCanonical(bpe, 'h', 'e') {
+			t.Error("(h, e) should be non-canonical when 'he' is a token")
+		}
+		_ = heTok
+	}
+	// Two tokens whose concatenation has no merges stay canonical.
+	if !isPairCanonical(bpe, 'q', 'z') {
+		t.Error("(q, z) should be canonical (no qz merge in this vocab)")
+	}
+}

@@ -1,0 +1,125 @@
+package compiler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/regex"
+	"repro/internal/tokenizer"
+)
+
+// randomFinitePattern builds a small disjunction-of-literals pattern over a
+// limited alphabet, guaranteed finite and enumerable.
+func randomFinitePattern(rng *rand.Rand) (pattern string, members []string) {
+	alpha := "catdoghes "
+	n := 1 + rng.Intn(4)
+	seen := map[string]bool{}
+	var opts []string
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(6)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = alpha[rng.Intn(len(alpha))]
+		}
+		s := strings.TrimSpace(string(b))
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		opts = append(opts, s)
+	}
+	if len(opts) == 0 {
+		opts = []string{"cat"}
+	}
+	parts := make([]string, len(opts))
+	for i, o := range opts {
+		parts[i] = "(" + regex.Escape(o) + ")"
+	}
+	return strings.Join(parts, "|"), opts
+}
+
+func TestPropertyFullAutomatonSoundAndComplete(t *testing.T) {
+	// For random finite languages:
+	//  - soundness: every token path in the full automaton decodes to a
+	//    member string;
+	//  - completeness: for every member, both the canonical encoding and
+	//    the raw byte spelling are accepted.
+	bpe := testBPE(t)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		pattern, members := randomFinitePattern(rng)
+		memberSet := map[string]bool{}
+		for _, m := range members {
+			memberSet[m] = true
+		}
+		char := regex.MustCompile(pattern)
+		full := CompileFull(char, bpe)
+		for _, seq := range full.Enumerate(12, 500) {
+			if !memberSet[bpe.Decode(seq)] {
+				t.Fatalf("trial %d (%s): full automaton accepts %v decoding to %q",
+					trial, pattern, seq, bpe.Decode(seq))
+			}
+		}
+		for _, m := range members {
+			if !full.MatchSymbols(bpe.Encode(m)) {
+				t.Fatalf("trial %d: canonical encoding of %q rejected", trial, m)
+			}
+			raw := make([]automaton.Symbol, len(m))
+			for i := 0; i < len(m); i++ {
+				raw[i] = int(m[i])
+			}
+			if !full.MatchSymbols(raw) {
+				t.Fatalf("trial %d: byte spelling of %q rejected", trial, m)
+			}
+		}
+	}
+}
+
+func TestPropertyCanonicalStrategiesAgree(t *testing.T) {
+	// enumerate-and-encode, pairwise rewriting, and exhaustive filtering
+	// must agree on random finite languages.
+	bpe := testBPE(t)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		pattern, _ := randomFinitePattern(rng)
+		char := regex.MustCompile(pattern)
+		canon, err := CompileCanonical(char, bpe, 16, 10000)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, pattern, err)
+		}
+		pair := CompileCanonicalPairwise(char, bpe)
+		if !automaton.Equivalent(canon, pair) {
+			t.Fatalf("trial %d: pairwise disagrees with enumeration for %q", trial, pattern)
+		}
+	}
+}
+
+func TestPropertyEveryFullPathFiltersConsistently(t *testing.T) {
+	// The dynamic canonical filter must accept exactly the canonical
+	// sequences among the full automaton's paths.
+	bpe := testBPE(t)
+	f := NewCanonicalFilter(bpe)
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 15; trial++ {
+		pattern, _ := randomFinitePattern(rng)
+		char := regex.MustCompile(pattern)
+		full := CompileFull(char, bpe)
+		for _, seq := range full.Enumerate(10, 300) {
+			want := tokenizer.IsCanonical(bpe, seq)
+			got := f.AllowFinal(seq)
+			if got != want {
+				t.Fatalf("trial %d: AllowFinal(%v) = %v, IsCanonical = %v", trial, seq, got, want)
+			}
+			if want {
+				// Canonical sequences must survive every partial check.
+				for i := 1; i <= len(seq); i++ {
+					if !f.AllowPartial(seq[:i]) {
+						t.Fatalf("trial %d: canonical prefix %v pruned", trial, seq[:i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(7).BuildWebCorpus(WebCorpusConfig{})
+	b := NewGenerator(7).BuildWebCorpus(WebCorpusConfig{})
+	if len(a.Lines) != len(b.Lines) {
+		t.Fatal("web corpus nondeterministic")
+	}
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] {
+			t.Fatal("web corpus nondeterministic")
+		}
+	}
+}
+
+func TestWebCorpusRegistry(t *testing.T) {
+	wc := NewGenerator(3).BuildWebCorpus(WebCorpusConfig{
+		MemorizedURLs: 20, RepeatsPerURL: 3, FillerLines: 50, DistractorURLs: 30,
+	})
+	if len(wc.Memorized) != 20 {
+		t.Fatalf("memorized = %d, want 20", len(wc.Memorized))
+	}
+	for _, u := range wc.Memorized {
+		if !wc.Registry[u] {
+			t.Errorf("memorized URL %q missing from registry", u)
+		}
+		if !strings.HasPrefix(u, "https://www.") {
+			t.Errorf("URL %q lacks scheme prefix", u)
+		}
+		// Each memorized URL must appear RepeatsPerURL times in training.
+		count := 0
+		for _, line := range wc.Lines {
+			count += strings.Count(line, u)
+		}
+		if count != 3 {
+			t.Errorf("URL %q appears %d times, want 3", u, count)
+		}
+	}
+	if len(wc.Registry) < 20 {
+		t.Error("registry should include distractors")
+	}
+}
+
+func TestBiasCorpusSkew(t *testing.T) {
+	lines := NewGenerator(5).BuildBiasCorpus(BiasCorpusConfig{SentencesPerPair: 2})
+	count := func(gender, prof string) int {
+		n := 0
+		needle := "The " + gender + " was trained in " + prof
+		for _, l := range lines {
+			if l == needle {
+				n++
+			}
+		}
+		return n
+	}
+	// Defaults skew engineering toward man, medicine toward woman.
+	if count("man", "engineering") <= count("woman", "engineering") {
+		t.Error("engineering should skew man")
+	}
+	if count("woman", "medicine") <= count("man", "medicine") {
+		t.Error("medicine should skew woman")
+	}
+	// Unskewed professions are balanced.
+	if count("man", "science") != count("woman", "science") {
+		t.Error("science should be balanced")
+	}
+	// All lines match the template.
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "The man was trained in") && !strings.HasPrefix(l, "The woman was trained in") {
+			t.Fatalf("unexpected line %q", l)
+		}
+	}
+}
+
+func TestPileInsultPlanting(t *testing.T) {
+	docs := NewGenerator(9).BuildPile(PileConfig{Docs: 200, InsultRate: 0.5})
+	planted := 0
+	for _, d := range docs {
+		planted += len(d.InsultSentences)
+		for _, s := range d.InsultSentences {
+			found := false
+			for _, ins := range Insults {
+				if strings.Contains(s, ins) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("insult sentence %q lacks an insult", s)
+			}
+			if !strings.Contains(d.Text, strings.TrimSuffix(s, ".")) {
+				t.Errorf("insult sentence not in doc text")
+			}
+		}
+	}
+	if planted < 60 || planted > 140 {
+		t.Errorf("planted %d insults in 200 docs at rate 0.5", planted)
+	}
+}
+
+func TestScanForInsults(t *testing.T) {
+	docs := NewGenerator(11).BuildPile(PileConfig{Docs: 150, InsultRate: 0.4})
+	wantTotal := 0
+	for _, d := range docs {
+		wantTotal += len(d.InsultSentences)
+	}
+	matches := ScanForInsults(docs, Insults)
+	if len(matches) != wantTotal {
+		t.Fatalf("scanner found %d, ground truth %d", len(matches), wantTotal)
+	}
+	for _, m := range matches {
+		if !strings.Contains(m.Sentence, m.Insult) {
+			t.Errorf("match sentence %q lacks insult %q", m.Sentence, m.Insult)
+		}
+		if strings.Contains(m.Prompt, m.Insult) {
+			t.Errorf("prompt %q should stop before the insult", m.Prompt)
+		}
+		if !strings.HasPrefix(m.Sentence, m.Prompt) {
+			t.Errorf("prompt %q is not a prefix of sentence %q", m.Prompt, m.Sentence)
+		}
+	}
+}
+
+func TestTrainingMix(t *testing.T) {
+	g := NewGenerator(1)
+	web := g.BuildWebCorpus(WebCorpusConfig{MemorizedURLs: 5, RepeatsPerURL: 2, FillerLines: 5})
+	bias := g.BuildBiasCorpus(BiasCorpusConfig{SentencesPerPair: 1})
+	pile := g.BuildPile(PileConfig{Docs: 3})
+	mix := TrainingMix(web, bias, pile, []string{"extra line"})
+	if len(mix) == 0 {
+		t.Fatal("empty mix")
+	}
+	found := false
+	for _, l := range mix {
+		if l == "extra line" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("extra lines missing from mix")
+	}
+}
+
+func TestSentenceLength(t *testing.T) {
+	g := NewGenerator(2)
+	s := g.Sentence(5)
+	if got := len(strings.Fields(s)); got != 5 {
+		t.Errorf("sentence has %d words, want 5", got)
+	}
+}
+
+func TestURLCharset(t *testing.T) {
+	// URLs must match the paper's query pattern charset.
+	g := NewGenerator(4)
+	for i := 0; i < 50; i++ {
+		u := g.URL()
+		rest := strings.TrimPrefix(u, "https://www.")
+		for _, c := range rest {
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+				c == '.' || c == '/' || c == '-' || c == '_' || c == '#' || c == '%'
+			if !ok {
+				t.Fatalf("URL %q contains %q outside the query charset", u, c)
+			}
+		}
+	}
+}

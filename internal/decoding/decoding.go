@@ -1,0 +1,199 @@
+// Package decoding implements the decision rules of §2.4: the algorithms
+// that convert a model's next-token distribution into the set of tokens that
+// may legally be emitted. ReLM applies rules during traversal to prune test
+// vectors: if a token is rejected at a step, every string sharing that
+// prefix is transitively eliminated (§3.3).
+package decoding
+
+import (
+	"math"
+	"sort"
+)
+
+// Rule filters and reweights a next-token log-probability vector in place.
+// Entries set to -Inf are excluded from the model's language at this step.
+// Rules compose left to right via Chain.
+type Rule interface {
+	// Apply mutates logProbs. Implementations must keep the vector
+	// normalizable (at least one finite entry) unless the input was already
+	// all -Inf.
+	Apply(logProbs []float64)
+	// Name identifies the rule in query descriptions.
+	Name() string
+}
+
+// TopK keeps only the K most likely tokens, renormalized. K <= 0 is a no-op
+// (vanilla sampling, whose language is nearly all strings — §2.4).
+type TopK struct{ K int }
+
+// Apply implements Rule.
+func (r TopK) Apply(lp []float64) {
+	if r.K <= 0 || r.K >= len(lp) {
+		return
+	}
+	idx := make([]int, len(lp))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection: sort indices by descending log prob.
+	sort.Slice(idx, func(a, b int) bool { return lp[idx[a]] > lp[idx[b]] })
+	cut := lp[idx[r.K-1]]
+	// Keep ties at the boundary deterministically by index order: tokens with
+	// log prob strictly below cut are dropped; among equals, those ranked
+	// beyond K are dropped too.
+	keep := make([]bool, len(lp))
+	for rank, i := range idx {
+		if rank < r.K && !math.IsInf(lp[i], -1) {
+			keep[i] = true
+		}
+	}
+	_ = cut
+	for i := range lp {
+		if !keep[i] {
+			lp[i] = math.Inf(-1)
+		}
+	}
+	renormalize(lp)
+}
+
+// Name implements Rule.
+func (r TopK) Name() string { return "top-k" }
+
+// TopP keeps the smallest set of tokens whose cumulative probability reaches
+// P (nucleus sampling), renormalized. P >= 1 or <= 0 is a no-op.
+type TopP struct{ P float64 }
+
+// Apply implements Rule.
+func (r TopP) Apply(lp []float64) {
+	if r.P <= 0 || r.P >= 1 {
+		return
+	}
+	idx := make([]int, len(lp))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return lp[idx[a]] > lp[idx[b]] })
+	cum := 0.0
+	keep := make([]bool, len(lp))
+	for _, i := range idx {
+		if math.IsInf(lp[i], -1) {
+			break
+		}
+		keep[i] = true
+		cum += math.Exp(lp[i])
+		if cum >= r.P {
+			break
+		}
+	}
+	for i := range lp {
+		if !keep[i] {
+			lp[i] = math.Inf(-1)
+		}
+	}
+	renormalize(lp)
+}
+
+// Name implements Rule.
+func (r TopP) Name() string { return "top-p" }
+
+// Greedy keeps only the single most likely token (top-k with k = 1).
+type Greedy struct{}
+
+// Apply implements Rule.
+func (Greedy) Apply(lp []float64) { TopK{K: 1}.Apply(lp) }
+
+// Name implements Rule.
+func (Greedy) Name() string { return "greedy" }
+
+// Temperature rescales log probabilities by 1/T before later rules run.
+// T = 0 or 1 is a no-op; T < 1 sharpens, T > 1 flattens.
+type Temperature struct{ T float64 }
+
+// Apply implements Rule.
+func (r Temperature) Apply(lp []float64) {
+	if r.T == 0 || r.T == 1 {
+		return
+	}
+	for i := range lp {
+		if !math.IsInf(lp[i], -1) {
+			lp[i] /= r.T
+		}
+	}
+	renormalize(lp)
+}
+
+// Name implements Rule.
+func (r Temperature) Name() string { return "temperature" }
+
+// Chain applies rules in order.
+type Chain []Rule
+
+// Apply implements Rule.
+func (c Chain) Apply(lp []float64) {
+	for _, r := range c {
+		r.Apply(lp)
+	}
+}
+
+// Name implements Rule.
+func (c Chain) Name() string {
+	if len(c) == 0 {
+		return "none"
+	}
+	name := c[0].Name()
+	for _, r := range c[1:] {
+		name += "+" + r.Name()
+	}
+	return name
+}
+
+// None is the identity rule: p(x) > 0 membership (§2.4's natural decision
+// rule with vanilla sampling).
+type None struct{}
+
+// Apply implements Rule.
+func (None) Apply([]float64) {}
+
+// Name implements Rule.
+func (None) Name() string { return "none" }
+
+// Allowed returns the indices with finite log probability after applying r
+// to a copy of lp, plus the filtered copy itself.
+func Allowed(r Rule, lp []float64) ([]int, []float64) {
+	cp := make([]float64, len(lp))
+	copy(cp, lp)
+	if r != nil {
+		r.Apply(cp)
+	}
+	var idx []int
+	for i, x := range cp {
+		if !math.IsInf(x, -1) {
+			idx = append(idx, i)
+		}
+	}
+	return idx, cp
+}
+
+func renormalize(lp []float64) {
+	max := math.Inf(-1)
+	for _, x := range lp {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return
+	}
+	sum := 0.0
+	for _, x := range lp {
+		if !math.IsInf(x, -1) {
+			sum += math.Exp(x - max)
+		}
+	}
+	z := max + math.Log(sum)
+	for i := range lp {
+		if !math.IsInf(lp[i], -1) {
+			lp[i] -= z
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package decoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func logDist(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p == 0 {
+			out[i] = math.Inf(-1)
+		} else {
+			out[i] = math.Log(p)
+		}
+	}
+	return out
+}
+
+func finiteCount(lp []float64) int {
+	n := 0
+	for _, x := range lp {
+		if !math.IsInf(x, -1) {
+			n++
+		}
+	}
+	return n
+}
+
+func sumExp(lp []float64) float64 {
+	s := 0.0
+	for _, x := range lp {
+		if !math.IsInf(x, -1) {
+			s += math.Exp(x)
+		}
+	}
+	return s
+}
+
+func TestTopKKeepsExactlyK(t *testing.T) {
+	lp := logDist(0.4, 0.3, 0.2, 0.1)
+	TopK{K: 2}.Apply(lp)
+	if got := finiteCount(lp); got != 2 {
+		t.Fatalf("top-2 kept %d tokens", got)
+	}
+	if math.IsInf(lp[0], -1) || math.IsInf(lp[1], -1) {
+		t.Error("top-2 dropped the most likely tokens")
+	}
+	if math.Abs(sumExp(lp)-1) > 1e-9 {
+		t.Errorf("top-k result not renormalized: sums to %f", sumExp(lp))
+	}
+}
+
+func TestTopKNoOp(t *testing.T) {
+	lp := logDist(0.5, 0.5)
+	orig := append([]float64{}, lp...)
+	TopK{K: 0}.Apply(lp)
+	TopK{K: 5}.Apply(lp)
+	for i := range lp {
+		if lp[i] != orig[i] {
+			t.Error("k<=0 or k>=len should be identity")
+		}
+	}
+}
+
+func TestTopKRelativeOrderPreserved(t *testing.T) {
+	lp := logDist(0.1, 0.5, 0.25, 0.15)
+	TopK{K: 3}.Apply(lp)
+	if !(lp[1] > lp[2] && lp[2] > lp[3]) {
+		t.Error("top-k should preserve relative order of kept tokens")
+	}
+	if !math.IsInf(lp[0], -1) {
+		t.Error("least likely token should be dropped")
+	}
+}
+
+func TestTopPNucleus(t *testing.T) {
+	lp := logDist(0.5, 0.3, 0.15, 0.05)
+	TopP{P: 0.7}.Apply(lp)
+	// 0.5 alone < 0.7, 0.5+0.3 >= 0.7 -> keep 2.
+	if got := finiteCount(lp); got != 2 {
+		t.Fatalf("top-p kept %d tokens, want 2", got)
+	}
+	if math.Abs(sumExp(lp)-1) > 1e-9 {
+		t.Error("top-p not renormalized")
+	}
+}
+
+func TestTopPBoundaries(t *testing.T) {
+	lp := logDist(0.6, 0.4)
+	TopP{P: 0}.Apply(lp)
+	TopP{P: 1}.Apply(lp)
+	if finiteCount(lp) != 2 {
+		t.Error("p<=0 or p>=1 should be identity")
+	}
+	lp2 := logDist(0.6, 0.4)
+	TopP{P: 0.1}.Apply(lp2)
+	if finiteCount(lp2) != 1 {
+		t.Error("tiny p should keep exactly the top token")
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	lp := logDist(0.2, 0.5, 0.3)
+	Greedy{}.Apply(lp)
+	if finiteCount(lp) != 1 || math.IsInf(lp[1], -1) {
+		t.Error("greedy should keep exactly the argmax")
+	}
+	if lp[1] != 0 {
+		t.Errorf("greedy survivor should have log prob 0, got %f", lp[1])
+	}
+}
+
+func TestTemperature(t *testing.T) {
+	lp := logDist(0.8, 0.2)
+	flat := append([]float64{}, lp...)
+	Temperature{T: 10}.Apply(flat)
+	if !(flat[0]-flat[1] < lp[0]-lp[1]) {
+		t.Error("high temperature should flatten the distribution")
+	}
+	sharp := append([]float64{}, lp...)
+	Temperature{T: 0.5}.Apply(sharp)
+	if !(sharp[0]-sharp[1] > lp[0]-lp[1]) {
+		t.Error("low temperature should sharpen the distribution")
+	}
+	if math.Abs(sumExp(flat)-1) > 1e-9 || math.Abs(sumExp(sharp)-1) > 1e-9 {
+		t.Error("temperature must renormalize")
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	lp := logDist(0.4, 0.3, 0.2, 0.1)
+	Chain{Temperature{T: 2}, TopK{K: 2}}.Apply(lp)
+	if finiteCount(lp) != 2 {
+		t.Error("chain should apply all rules")
+	}
+	if (Chain{Temperature{T: 2}, TopK{K: 2}}).Name() != "temperature+top-k" {
+		t.Error("chain name wrong")
+	}
+	if (Chain{}).Name() != "none" {
+		t.Error("empty chain name wrong")
+	}
+}
+
+func TestNone(t *testing.T) {
+	lp := logDist(0.9, 0.1)
+	orig := append([]float64{}, lp...)
+	None{}.Apply(lp)
+	for i := range lp {
+		if lp[i] != orig[i] {
+			t.Error("None should be identity")
+		}
+	}
+}
+
+func TestAllowed(t *testing.T) {
+	lp := logDist(0.4, 0.3, 0.2, 0.1)
+	idx, filtered := Allowed(TopK{K: 2}, lp)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("Allowed indices = %v, want [0 1]", idx)
+	}
+	// Original must be untouched.
+	if math.IsInf(lp[3], -1) {
+		t.Error("Allowed mutated its input")
+	}
+	if finiteCount(filtered) != 2 {
+		t.Error("filtered copy wrong")
+	}
+}
+
+func TestTopKAllImpossibleInput(t *testing.T) {
+	lp := []float64{math.Inf(-1), math.Inf(-1)}
+	TopK{K: 1}.Apply(lp) // must not panic
+	if finiteCount(lp) != 0 {
+		t.Error("all-impossible input should stay impossible")
+	}
+}
+
+func TestQuickTopKInvariants(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		lp := make([]float64, 0, 16)
+		for i := 0; i < len(raw) && i < 16; i++ {
+			x := raw[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			lp = append(lp, -math.Mod(math.Abs(x), 20))
+		}
+		// Normalize the fuzzed vector so the post-rule sum check is
+		// meaningful even when the rule is a no-op (k >= len).
+		z := 0.0
+		for _, x := range lp {
+			z += math.Exp(x)
+		}
+		for i := range lp {
+			lp[i] -= math.Log(z)
+		}
+		k := 1 + int(kRaw)%len(lp)
+		TopK{K: k}.Apply(lp)
+		n := finiteCount(lp)
+		if n == 0 || n > k {
+			return false
+		}
+		return math.Abs(sumExp(lp)-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopPKeepsArgmax(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		lp := make([]float64, 0, 8)
+		for i := 0; i < len(raw) && i < 8; i++ {
+			x := raw[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 1
+			}
+			lp = append(lp, -math.Abs(x)-0.001*float64(i))
+		}
+		// Normalize first so TopP's cumulative math is meaningful.
+		z := 0.0
+		for _, x := range lp {
+			z += math.Exp(x)
+		}
+		for i := range lp {
+			lp[i] -= math.Log(z)
+		}
+		best, bi := math.Inf(-1), 0
+		for i, x := range lp {
+			if x > best {
+				best, bi = x, i
+			}
+		}
+		p := 0.05 + float64(pRaw%90)/100
+		TopP{P: p}.Apply(lp)
+		return !math.IsInf(lp[bi], -1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package device simulates the accelerator that backs LLM inference (see
+// DESIGN.md, substitution table: the paper ran a GTX-3080). The executor
+// submits batches of contexts; the device charges a latency model (fixed
+// dispatch overhead plus per-sequence and per-token costs) against a virtual
+// clock and meters busy time, so experiments can report throughput and
+// utilization figures analogous to the paper's nvidia-smi measurements —
+// without any wall-clock dependence, keeping benches deterministic.
+package device
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// LatencyModel prices a batch. Defaults approximate a mid-range GPU running
+// a 1.5B-parameter model: ~3ms dispatch, ~0.9ms per sequence in the batch,
+// ~0.02ms per context token.
+type LatencyModel struct {
+	Dispatch    time.Duration // fixed cost per batch
+	PerSequence time.Duration // marginal cost per sequence
+	PerToken    time.Duration // marginal cost per context token
+}
+
+// DefaultLatency is the stock latency model.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		Dispatch:    3 * time.Millisecond,
+		PerSequence: 900 * time.Microsecond,
+		PerToken:    20 * time.Microsecond,
+	}
+}
+
+// Cost returns the simulated execution time of a batch with the given
+// sequence count and total token count.
+func (lm LatencyModel) Cost(sequences, totalTokens int) time.Duration {
+	return lm.Dispatch +
+		time.Duration(sequences)*lm.PerSequence +
+		time.Duration(totalTokens)*lm.PerToken
+}
+
+// Device executes language-model batches against a virtual clock.
+type Device struct {
+	lm       model.LanguageModel
+	latency  LatencyModel
+	maxBatch int
+
+	mu        sync.Mutex
+	clock     time.Duration // virtual time elapsed
+	busy      time.Duration // virtual time spent executing
+	batches   int64
+	sequences int64
+	tokens    int64
+}
+
+// New creates a device for the given model. maxBatch bounds batch size
+// (<= 0 means 64).
+func New(lm model.LanguageModel, latency LatencyModel, maxBatch int) *Device {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	return &Device{lm: lm, latency: latency, maxBatch: maxBatch}
+}
+
+// Model returns the underlying language model.
+func (d *Device) Model() model.LanguageModel { return d.lm }
+
+// MaxBatch reports the device batch-size limit.
+func (d *Device) MaxBatch() int { return d.maxBatch }
+
+// Forward runs one batch of contexts and returns their next-token log-prob
+// vectors, charging the latency model. Batches larger than MaxBatch are
+// split internally.
+func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
+	out := make([][]float64, len(ctxs))
+	for lo := 0; lo < len(ctxs); lo += d.maxBatch {
+		hi := lo + d.maxBatch
+		if hi > len(ctxs) {
+			hi = len(ctxs)
+		}
+		chunk := ctxs[lo:hi]
+		tokens := 0
+		for _, c := range chunk {
+			tokens += len(c)
+		}
+		cost := d.latency.Cost(len(chunk), tokens)
+		d.mu.Lock()
+		d.clock += cost
+		d.busy += cost
+		d.batches++
+		d.sequences += int64(len(chunk))
+		d.tokens += int64(tokens)
+		d.mu.Unlock()
+		for i, c := range chunk {
+			out[lo+i] = d.lm.NextLogProbs(c)
+		}
+	}
+	return out
+}
+
+// Idle advances the virtual clock without work, modelling host-side time
+// (graph bookkeeping, result verification) during which the device sits
+// unused. Utilization drops accordingly.
+func (d *Device) Idle(dt time.Duration) {
+	d.mu.Lock()
+	d.clock += dt
+	d.mu.Unlock()
+}
+
+// Clock returns the current virtual time.
+func (d *Device) Clock() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
+
+// Stats summarizes device activity.
+type Stats struct {
+	Clock       time.Duration
+	Busy        time.Duration
+	Utilization float64 // busy / clock, in [0,1]
+	Batches     int64
+	Sequences   int64
+	Tokens      int64
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	util := 0.0
+	if d.clock > 0 {
+		util = float64(d.busy) / float64(d.clock)
+	}
+	return Stats{
+		Clock:       d.clock,
+		Busy:        d.busy,
+		Utilization: util,
+		Batches:     d.batches,
+		Sequences:   d.sequences,
+		Tokens:      d.tokens,
+	}
+}
+
+// Reset zeroes the clock and counters.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock, d.busy = 0, 0
+	d.batches, d.sequences, d.tokens = 0, 0, 0
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/decoding"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// BeamOptions configures constrained beam search.
+type BeamOptions struct {
+	// Width is the beam size (default 8).
+	Width int
+	// MaxSteps bounds generation length in tokens (default Query.MaxTokens).
+	MaxSteps int
+}
+
+// Beam returns a stream implementing constrained beam search — the
+// trie-decoding style of De Cao et al. that the paper's related work
+// discusses (§5). Unlike shortest path, the beam commits to at most Width
+// partial hypotheses per step, trading completeness (low-probability-prefix
+// matches can be pruned forever) for a bounded frontier and strictly
+// level-synchronized device batches. Completed hypotheses are collected as
+// the beam advances and emitted in descending probability.
+func Beam(dev *device.Device, q *Query, opts BeamOptions) Stream {
+	nq := normalizeQuery(dev, q)
+	if opts.Width <= 0 {
+		opts.Width = 8
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = nq.MaxTokens
+	}
+	s := &beamStream{dev: dev, q: nq, opts: opts}
+	s.init()
+	return s
+}
+
+type beamStream struct {
+	dev     *device.Device
+	q       *Query
+	opts    BeamOptions
+	beam    []*node
+	done    []*node // completed matches, unsorted until drain
+	emitted int
+	ran     bool
+	stats   Stats
+}
+
+func (s *beamStream) init() {
+	for _, p := range s.q.Prefixes {
+		logP := 0.0
+		if len(p) > 0 {
+			logP = scoreSequence(s.dev, p)
+			s.stats.ModelCalls += int64(len(p))
+		}
+		ctx := make([]model.Token, len(p))
+		copy(ctx, p)
+		s.beam = append(s.beam, &node{
+			state:    s.q.Pattern.Start(),
+			ctx:      ctx,
+			cost:     -logP,
+			prefLogP: logP,
+		})
+	}
+	s.truncateBeam()
+}
+
+func (s *beamStream) truncateBeam() {
+	sort.Slice(s.beam, func(i, j int) bool { return s.beam[i].cost < s.beam[j].cost })
+	if len(s.beam) > s.opts.Width {
+		s.beam = s.beam[:s.opts.Width]
+	}
+}
+
+// run advances the beam to completion, harvesting accepting hypotheses.
+func (s *beamStream) run() {
+	m := s.dev.Model()
+	for step := 0; step < s.opts.MaxSteps && len(s.beam) > 0; step++ {
+		ctxs := make([][]model.Token, len(s.beam))
+		for i, n := range s.beam {
+			ctxs[i] = clampCtx(m, n.ctx)
+		}
+		lps := s.dev.Forward(ctxs)
+		s.stats.ModelCalls += int64(len(s.beam))
+		s.stats.NodesExpanded += int64(len(s.beam))
+
+		var next []*node
+		for i, n := range s.beam {
+			lp := lps[i]
+			_, filtered := decoding.Allowed(s.q.Rule, lp)
+			// Harvest acceptance before extending.
+			if s.q.Pattern.Accepting(n.state) && n.patLen > 0 {
+				pattern := n.ctx[len(n.ctx)-n.patLen:]
+				if s.q.Filter == nil || s.q.Filter.AllowFinal(pattern) {
+					term := &node{
+						state: n.state, ctx: n.ctx, patLen: n.patLen,
+						cost: n.cost, prefLogP: n.prefLogP, terminal: true,
+					}
+					ok := true
+					if s.q.RequireEOS {
+						if filtered[m.EOS()] == model.NegInf {
+							ok = false
+						} else {
+							term.cost -= lp[m.EOS()]
+						}
+					}
+					if ok {
+						s.done = append(s.done, term)
+					}
+				}
+			}
+			for _, e := range s.q.Pattern.Edges(n.state) {
+				if filtered[e.Sym] == model.NegInf {
+					continue
+				}
+				child := &node{
+					state:    e.To,
+					ctx:      appendToken(n.ctx, e.Sym),
+					patLen:   n.patLen + 1,
+					cost:     n.cost - lp[e.Sym],
+					prefLogP: n.prefLogP,
+				}
+				if s.q.Filter != nil && !s.q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.patLen:]) {
+					continue
+				}
+				next = append(next, child)
+			}
+		}
+		s.beam = next
+		s.truncateBeam()
+	}
+	// Final harvest of hypotheses that ended exactly at MaxSteps.
+	for _, n := range s.beam {
+		if s.q.Pattern.Accepting(n.state) && n.patLen > 0 {
+			pattern := n.ctx[len(n.ctx)-n.patLen:]
+			if s.q.Filter != nil && !s.q.Filter.AllowFinal(pattern) {
+				continue
+			}
+			if s.q.RequireEOS {
+				lp := s.dev.Forward([][]model.Token{clampCtx(m, n.ctx)})[0]
+				s.stats.ModelCalls++
+				_, filtered := decoding.Allowed(s.q.Rule, lp)
+				if filtered[m.EOS()] == model.NegInf {
+					continue
+				}
+				n.cost -= lp[m.EOS()]
+			}
+			s.done = append(s.done, n)
+		}
+	}
+	sort.Slice(s.done, func(i, j int) bool { return s.done[i].cost < s.done[j].cost })
+	// Deduplicate identical token sequences (a hypothesis can be harvested
+	// at several steps when its accept state has a rule-blocked extension).
+	uniq := s.done[:0]
+	seen := map[string]bool{}
+	for _, n := range s.done {
+		k := model.Key(n.ctx)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, n)
+		}
+	}
+	s.done = uniq
+}
+
+func (s *beamStream) Next() (*Result, error) {
+	if !s.ran {
+		s.ran = true
+		s.run()
+	}
+	if s.emitted >= len(s.done) {
+		return nil, ErrExhausted
+	}
+	n := s.done[s.emitted]
+	s.emitted++
+	s.stats.Emitted++
+	return &Result{
+		Prefix:        n.ctx[:len(n.ctx)-n.patLen],
+		Pattern:       n.ctx[len(n.ctx)-n.patLen:],
+		LogProb:       -n.cost,
+		PrefixLogProb: n.prefLogP,
+	}, nil
+}
+
+func (s *beamStream) Stats() Stats { return s.stats }

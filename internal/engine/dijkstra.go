@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"container/heap"
+
+	"repro/internal/decoding"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// ShortestPath returns a stream that yields matching sequences in order of
+// decreasing model probability (increasing -log p), the traversal used for
+// memorization extraction and inference (§3.3). The search tree is rooted at
+// the enumerated prefixes; prefix costs are charged without rule filtering
+// (the paper's heuristic: prefixes are prioritized by their original costs
+// but never eliminated by decoding rules).
+func ShortestPath(dev *device.Device, q *Query) Stream {
+	s := &dijkstraStream{dev: dev, q: normalizeQuery(dev, q)}
+	s.init()
+	return s
+}
+
+type dijkstraStream struct {
+	dev   *device.Device
+	q     *Query
+	heap  nodeHeap
+	stats Stats
+}
+
+// normalizeQuery fills defaults; a missing prefix set means one empty prefix.
+func normalizeQuery(dev *device.Device, q *Query) *Query {
+	cp := *q
+	if len(cp.Prefixes) == 0 {
+		cp.Prefixes = [][]model.Token{{}}
+	}
+	if cp.MaxTokens <= 0 {
+		cp.MaxTokens = dev.Model().MaxSeqLen()
+	}
+	if cp.MaxNodes <= 0 {
+		cp.MaxNodes = 1 << 20
+	}
+	return &cp
+}
+
+func (s *dijkstraStream) init() {
+	heap.Init(&s.heap)
+	for _, p := range s.q.Prefixes {
+		logP := 0.0
+		if len(p) > 0 {
+			logP = scoreSequence(s.dev, p)
+			s.stats.ModelCalls += int64(len(p))
+		}
+		cost := -logP
+		if s.q.PrefixZeroCost {
+			// The rejected §3.3 design: a flat prior over prefixes. Every
+			// prefix root enters the heap at cost 0, so all of them are
+			// visited before the first deep expansion — the startup-latency
+			// blowup the heuristic avoids.
+			cost = 0
+		}
+		ctx := make([]model.Token, len(p))
+		copy(ctx, p)
+		heap.Push(&s.heap, &node{
+			state:    s.q.Pattern.Start(),
+			ctx:      ctx,
+			patLen:   0,
+			cost:     cost,
+			prefLogP: logP,
+		})
+	}
+}
+
+// Next pops nodes best-first until a terminal (match) node surfaces.
+// Expansion of a popped node generates pattern-edge children under the
+// decision rule, plus — when the automaton state accepts — a terminal child
+// carrying the match. When RequireEOS is set, the terminal child is charged
+// the model's EOS probability (rule-checked), so result order reflects the
+// full sequence probability including termination.
+//
+// Non-terminal nodes are expanded in device batches of up to BatchExpand,
+// amortizing dispatch overhead (§3.3). A terminal at the heap top always
+// emits before further expansion, so batching only reorders results whose
+// costs interleave within a single batch.
+func (s *dijkstraStream) Next() (*Result, error) {
+	batchSize := s.q.BatchExpand
+	if batchSize <= 0 {
+		batchSize = s.dev.MaxBatch()
+	}
+	for s.heap.Len() > 0 {
+		if s.heap[0].terminal {
+			n := heap.Pop(&s.heap).(*node)
+			s.stats.Emitted++
+			return &Result{
+				Prefix:        n.ctx[:len(n.ctx)-n.patLen],
+				Pattern:       n.ctx[len(n.ctx)-n.patLen:],
+				LogProb:       -n.cost,
+				PrefixLogProb: n.prefLogP,
+			}, nil
+		}
+		if s.stats.NodesExpanded >= int64(s.q.MaxNodes) {
+			return nil, ErrExhausted
+		}
+		// Gather a batch of non-terminal nodes; stop if a terminal surfaces.
+		var batch []*node
+		for len(batch) < batchSize && s.heap.Len() > 0 && !s.heap[0].terminal &&
+			s.stats.NodesExpanded+int64(len(batch)) < int64(s.q.MaxNodes) {
+			batch = append(batch, heap.Pop(&s.heap).(*node))
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		ctxs := make([][]model.Token, len(batch))
+		m := s.dev.Model()
+		for i, n := range batch {
+			ctxs[i] = clampCtx(m, n.ctx)
+		}
+		lps := s.dev.Forward(ctxs)
+		s.stats.ModelCalls += int64(len(batch))
+		s.stats.NodesExpanded += int64(len(batch))
+		for i, n := range batch {
+			s.expand(n, lps[i])
+		}
+	}
+	return nil, ErrExhausted
+}
+
+// expand inserts a node's rule-filtered children (and terminal, if
+// accepting) into the heap.
+func (s *dijkstraStream) expand(n *node, lp []float64) {
+	m := s.dev.Model()
+	_, filtered := decoding.Allowed(s.q.Rule, lp)
+	if n.patLen < s.q.MaxTokens {
+		for _, e := range s.q.Pattern.Edges(n.state) {
+			if filtered[e.Sym] == model.NegInf {
+				continue // pruned by the decision rule
+			}
+			child := &node{
+				state:    e.To,
+				ctx:      appendToken(n.ctx, e.Sym),
+				patLen:   n.patLen + 1,
+				cost:     n.cost - lp[e.Sym], // original cost for ordering
+				prefLogP: n.prefLogP,
+			}
+			if s.q.Filter != nil && !s.q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.patLen:]) {
+				continue
+			}
+			heap.Push(&s.heap, child)
+		}
+	}
+	if !s.q.Pattern.Accepting(n.state) || n.patLen == 0 {
+		return
+	}
+	pattern := n.ctx[len(n.ctx)-n.patLen:]
+	if s.q.Filter != nil && !s.q.Filter.AllowFinal(pattern) {
+		return
+	}
+	term := &node{
+		state:    n.state,
+		ctx:      n.ctx,
+		patLen:   n.patLen,
+		cost:     n.cost,
+		prefLogP: n.prefLogP,
+		terminal: true,
+	}
+	if s.q.RequireEOS {
+		if filtered[m.EOS()] == model.NegInf {
+			return // EOS unreachable under the rule; not a match
+		}
+		term.cost -= lp[m.EOS()]
+	}
+	heap.Push(&s.heap, term)
+}
+
+func (s *dijkstraStream) Stats() Stats { return s.stats }
+
+func appendToken(ctx []model.Token, t model.Token) []model.Token {
+	out := make([]model.Token, len(ctx)+1)
+	copy(out, ctx)
+	out[len(ctx)] = t
+	return out
+}

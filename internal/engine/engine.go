@@ -1,0 +1,154 @@
+// Package engine implements the ReLM Executor (§3.3): it traverses an LLM
+// automaton against a language model under decision rules, yielding matching
+// token sequences as a stream. Two traversals are provided, mirroring the
+// paper — Dijkstra shortest-path (highest-probability-first, used for
+// memorization and inference) and randomized sampling (used to estimate
+// event probabilities, e.g. bias distributions).
+package engine
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/automaton"
+	"repro/internal/compiler"
+	"repro/internal/decoding"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// Query is a fully compiled ReLM query: the token-space automaton for the
+// pattern, the prefix handling, the decision rules, and traversal limits.
+type Query struct {
+	// Pattern is the LLM automaton (token alphabet) for the constrained part
+	// of the generation.
+	Pattern *automaton.DFA
+	// Prefixes are the token encodings of the (enumerated) prefix language.
+	// Prefix tokens bypass decision rules (§3.3) but contribute their model
+	// cost for prioritization (the paper's startup-latency heuristic). An
+	// empty slice means "no prefix": generation is unconditional.
+	Prefixes [][]model.Token
+	// Rule is the decision rule chain applied to pattern (non-prefix) steps.
+	// nil means no filtering (p(x) > 0 semantics).
+	Rule decoding.Rule
+	// Filter, when non-nil, restricts traversal to canonical encodings via
+	// dynamic pruning (§3.2, option 2). It applies to the pattern tokens.
+	Filter *compiler.CanonicalFilter
+	// RequireEOS demands that the model emit EOS after the pattern match,
+	// disambiguating "b" from "bb..." (§3.3). The EOS step is rule-checked
+	// and its cost included.
+	RequireEOS bool
+	// MaxTokens caps the number of pattern tokens per result (default: the
+	// model's max sequence length).
+	MaxTokens int
+	// MaxNodes caps total node expansions in shortest-path traversal
+	// (default 1<<20), bounding memory on infinite languages.
+	MaxNodes int
+	// BatchExpand pops up to this many frontier nodes per device round in
+	// shortest-path traversal, amortizing dispatch overhead — the paper's
+	// executor "schedules massive sets of test vectors on accelerators"
+	// (§3.3). Children of a batch are inserted before the next round, so
+	// emission order can deviate from strict best-first by at most one
+	// batch. 0 defaults to the device batch size; 1 gives exact ordering.
+	BatchExpand int
+	// PrefixZeroCost treats every prefix as cost 0, making the prefix set a
+	// truly uniform distribution — the paper's first design (§3.3), which
+	// it rejects because "the latency for returning the first tuple can
+	// increase dramatically, as all prefixes have to be visited first". The
+	// default (false) applies the paper's fix: prefixes keep their original
+	// model cost for prioritization while still bypassing decoding rules.
+	// Exposed for the DESIGN.md decision-5 ablation.
+	PrefixZeroCost bool
+}
+
+// Result is one matching tuple from the stream.
+type Result struct {
+	// Prefix and Pattern are the token sequences for the two query parts.
+	Prefix  []model.Token
+	Pattern []model.Token
+	// LogProb is the model log probability of the full sequence (prefix +
+	// pattern + EOS when required).
+	LogProb float64
+	// PrefixLogProb is the portion attributable to the prefix.
+	PrefixLogProb float64
+}
+
+// Tokens returns the full token sequence, prefix then pattern.
+func (r *Result) Tokens() []model.Token {
+	out := make([]model.Token, 0, len(r.Prefix)+len(r.Pattern))
+	out = append(out, r.Prefix...)
+	out = append(out, r.Pattern...)
+	return out
+}
+
+// Stats counts engine work for efficiency experiments.
+type Stats struct {
+	NodesExpanded int64
+	ModelCalls    int64
+	Emitted       int64
+	Attempts      int64 // sampler: total sampling attempts (incl. rejected)
+	Rejected      int64 // sampler: attempts that dead-ended or failed a filter
+}
+
+// ErrExhausted is reported by Next when a deterministic traversal has
+// visited the entire language (or hit MaxNodes).
+var ErrExhausted = errors.New("engine: query space exhausted")
+
+// Stream yields query results one at a time.
+type Stream interface {
+	// Next returns the next result. It returns ErrExhausted when the
+	// language is exhausted (deterministic traversals only; random streams
+	// never exhaust but may return ErrExhausted once MaxNodes attempts
+	// fail consecutively).
+	Next() (*Result, error)
+	// Stats returns a snapshot of work counters.
+	Stats() Stats
+}
+
+// node is a search-tree node in shortest-path traversal.
+type node struct {
+	state    automaton.StateID
+	ctx      []model.Token // full model context: prefix + pattern so far
+	patLen   int           // how many of ctx are pattern tokens
+	cost     float64       // cumulative -log p
+	prefLogP float64
+	terminal bool // true for emit-ready match nodes (EOS cost included)
+	index    int  // heap bookkeeping
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *nodeHeap) Push(x interface{}) { n := x.(*node); n.index = len(*h); *h = append(*h, n) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return n
+}
+
+// clampCtx trims a context to the model window.
+func clampCtx(m model.LanguageModel, ctx []model.Token) []model.Token {
+	if len(ctx) > m.MaxSeqLen() {
+		return ctx[len(ctx)-m.MaxSeqLen():]
+	}
+	return ctx
+}
+
+// scoreSequence returns the total log probability of seq under the device's
+// model (no decision rules — used for prefix scoring, which bypasses rules).
+func scoreSequence(dev *device.Device, seq []model.Token) float64 {
+	m := dev.Model()
+	total := 0.0
+	for i := range seq {
+		lp := dev.Forward([][]model.Token{clampCtx(m, seq[:i])})[0]
+		total += lp[seq[i]]
+		if math.IsInf(total, -1) {
+			return model.NegInf
+		}
+	}
+	return total
+}

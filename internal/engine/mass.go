@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/automaton"
+	"repro/internal/decoding"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// MassResult is a certified estimate of the probability that a complete
+// model generation falls inside the query's pattern language:
+//
+//	mass(L) = Σ_{x ∈ L, |x| ≤ MaxTokens} p(x | prefix) · p(EOS | prefix·x)
+//
+// The paper frames ReLM as measuring "LLM behavior over sets too large to
+// enumerate" (§1); Mass makes that literal: rather than sampling, it
+// traverses the LLM automaton best-first and maintains exact lower and upper
+// bounds that converge as probability mass is resolved. The upper bound is
+// sound because complete generations extending distinct frontier nodes are
+// disjoint events: their total probability cannot exceed the frontier node's
+// own prefix probability.
+type MassResult struct {
+	// Lower and Upper bound mass(L). Lower is the mass of fully resolved
+	// matches; Upper adds the unresolved frontier.
+	Lower, Upper float64
+	// Matches counts complete matching strings resolved into Lower.
+	Matches int64
+	// Expanded counts node expansions (model batches are Expanded model
+	// calls).
+	Expanded int64
+	// Converged reports the gap closed to within the tolerance; false means
+	// the node budget ran out first (the bounds are still sound).
+	Converged bool
+}
+
+// Gap returns the remaining uncertainty interval width.
+func (r *MassResult) Gap() float64 { return r.Upper - r.Lower }
+
+// MassOptions bounds the computation.
+type MassOptions struct {
+	// Tolerance stops the traversal once Upper-Lower <= Tolerance
+	// (default 1e-3).
+	Tolerance float64
+	// MaxNodes caps expansions (default 1<<17).
+	MaxNodes int
+}
+
+// massNode carries probability (not cost) for max-first traversal.
+type massNode struct {
+	state automaton.StateID
+	ctx   []model.Token
+	pat   int
+	mass  float64
+}
+
+type massHeap []*massNode
+
+func (h massHeap) Len() int            { return len(h) }
+func (h massHeap) Less(i, j int) bool  { return h[i].mass > h[j].mass }
+func (h massHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *massHeap) Push(x interface{}) { *h = append(*h, x.(*massNode)) }
+func (h *massHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return n
+}
+
+// Mass computes certified bounds on the pattern language's probability mass
+// under the model and the query's decision rules. Decision rules act as hard
+// filters: an edge the rule eliminates contributes zero mass (its strings are
+// outside L_m per §2.4), without renormalizing the surviving tokens.
+//
+// Multiple enumerated prefixes are treated as a uniform mixture: each prefix
+// roots the traversal with initial mass 1/len(prefixes), so the result is
+// the expected mass over a uniformly chosen prefix. RequireEOS is implied by
+// the semantics (complete generations) and the query's flag is ignored.
+func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-3
+	}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 1 << 17
+	}
+	q = normalizeQuery(dev, q)
+	m := dev.Model()
+
+	res := &MassResult{}
+	var frontier massHeap
+	frontierMass := 0.0
+	rootMass := 1.0 / float64(len(q.Prefixes))
+	for _, p := range q.Prefixes {
+		ctx := make([]model.Token, len(p))
+		copy(ctx, p)
+		heap.Push(&frontier, &massNode{state: q.Pattern.Start(), ctx: ctx, mass: rootMass})
+		frontierMass += rootMass
+	}
+
+	for frontier.Len() > 0 {
+		res.Upper = res.Lower + frontierMass
+		if res.Upper-res.Lower <= opts.Tolerance {
+			res.Converged = true
+			break
+		}
+		if res.Expanded >= int64(opts.MaxNodes) {
+			break
+		}
+		n := heap.Pop(&frontier).(*massNode)
+		frontierMass -= n.mass
+		res.Expanded++
+
+		lp := dev.Forward([][]model.Token{clampCtx(m, n.ctx)})[0]
+		_, filtered := decoding.Allowed(q.Rule, lp)
+
+		// A complete match requires an accepting state, ≥1 pattern token,
+		// the canonicality filter's consent, and a rule-admissible EOS.
+		if q.Pattern.Accepting(n.state) && n.pat > 0 {
+			pattern := n.ctx[len(n.ctx)-n.pat:]
+			if (q.Filter == nil || q.Filter.AllowFinal(pattern)) && filtered[m.EOS()] != model.NegInf {
+				res.Lower += n.mass * math.Exp(lp[m.EOS()])
+				res.Matches++
+			}
+		}
+		if n.pat >= q.MaxTokens {
+			continue // longer strings are outside the bounded language
+		}
+		for _, e := range q.Pattern.Edges(n.state) {
+			if filtered[e.Sym] == model.NegInf {
+				continue
+			}
+			childMass := n.mass * math.Exp(lp[e.Sym])
+			if childMass <= 0 {
+				continue
+			}
+			child := &massNode{
+				state: e.To,
+				ctx:   appendToken(n.ctx, e.Sym),
+				pat:   n.pat + 1,
+				mass:  childMass,
+			}
+			if q.Filter != nil && !q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.pat:]) {
+				continue
+			}
+			heap.Push(&frontier, child)
+			frontierMass += childMass
+		}
+	}
+	res.Upper = res.Lower + frontierMass
+	if res.Upper-res.Lower <= opts.Tolerance {
+		res.Converged = true
+	}
+	if res.Upper > 1 {
+		res.Upper = 1 // float accumulation can nudge past certainty
+	}
+	return res
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/decoding"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// SamplerOptions configures randomized traversal.
+type SamplerOptions struct {
+	// Rng drives all randomness; required for reproducibility.
+	Rng *rand.Rand
+	// PrefixDFA, when non-nil, is an automaton over the prefix language;
+	// prefixes are drawn uniformly over its accepting walks via walk-count
+	// normalization (§3.3). When nil, prefixes are drawn uniformly from
+	// Query.Prefixes.
+	PrefixDFA *automaton.DFA
+	// PrefixMaxLen bounds prefix walks when PrefixDFA is set (cycle
+	// unrolling limit). Defaults to the model window.
+	PrefixMaxLen int
+	// PrefixEncode, when non-nil, declares PrefixDFA to be a byte-level
+	// automaton: each sampled walk is decoded to its string (one walk per
+	// string, so walk-uniform = string-uniform) and re-encoded to model
+	// tokens with this function. When nil, PrefixDFA walks are used as
+	// token sequences directly.
+	PrefixEncode func(s string) []model.Token
+	// Unnormalized switches prefix sampling to naive uniform-edge choice,
+	// reproducing the bias of Appendix C for the fig9 experiment.
+	Unnormalized bool
+	// MaxAttemptsPerResult bounds rejection-sampling retries before Next
+	// reports ErrExhausted (default 10000).
+	MaxAttemptsPerResult int
+}
+
+// Sample returns a stream that draws matching sequences at random: the
+// prefix uniformly over the prefix language, the suffix from the model's
+// rule-filtered conditional distribution restricted to the automaton.
+// Random streams never terminate on their own — each Next call is an
+// independent draw (§3.1: "random queries are of infinite length because of
+// resampling").
+func Sample(dev *device.Device, q *Query, opts SamplerOptions) Stream {
+	nq := normalizeQuery(dev, q)
+	if opts.MaxAttemptsPerResult <= 0 {
+		opts.MaxAttemptsPerResult = 10000
+	}
+	if opts.PrefixMaxLen <= 0 {
+		opts.PrefixMaxLen = dev.Model().MaxSeqLen()
+	}
+	s := &samplerStream{dev: dev, q: nq, opts: opts}
+	if opts.PrefixDFA != nil {
+		s.walks = automaton.NewWalkCounter(opts.PrefixDFA, opts.PrefixMaxLen)
+	}
+	return s
+}
+
+type samplerStream struct {
+	dev   *device.Device
+	q     *Query
+	opts  SamplerOptions
+	walks *automaton.WalkCounter
+	stats Stats
+}
+
+func (s *samplerStream) Stats() Stats { return s.stats }
+
+// Next performs rejection sampling: draw a prefix, then walk the pattern
+// automaton sampling rule-filtered tokens until acceptance via EOS-weighted
+// stopping. Dead ends (all automaton edges pruned by the rule) reject the
+// attempt.
+func (s *samplerStream) Next() (*Result, error) {
+	for attempt := 0; attempt < s.opts.MaxAttemptsPerResult; attempt++ {
+		s.stats.Attempts++
+		res, ok := s.sampleOnce()
+		if ok {
+			s.stats.Emitted++
+			return res, nil
+		}
+		s.stats.Rejected++
+	}
+	return nil, ErrExhausted
+}
+
+func (s *samplerStream) samplePrefix() ([]model.Token, bool) {
+	if s.walks != nil {
+		var seq []automaton.Symbol
+		if s.opts.Unnormalized {
+			seq = s.walks.SampleUnnormalized(s.opts.Rng)
+		} else {
+			seq = s.walks.SampleUniform(s.opts.Rng)
+		}
+		if seq == nil {
+			return nil, false
+		}
+		if s.opts.PrefixEncode != nil {
+			b := make([]byte, len(seq))
+			for i, sym := range seq {
+				b[i] = byte(sym)
+			}
+			return s.opts.PrefixEncode(string(b)), true
+		}
+		return seq, true
+	}
+	p := s.q.Prefixes[s.opts.Rng.Intn(len(s.q.Prefixes))]
+	out := make([]model.Token, len(p))
+	copy(out, p)
+	return out, true
+}
+
+func (s *samplerStream) sampleOnce() (*Result, bool) {
+	m := s.dev.Model()
+	prefix, ok := s.samplePrefix()
+	if !ok {
+		return nil, false
+	}
+	prefLogP := 0.0
+	if len(prefix) > 0 {
+		prefLogP = scoreSequence(s.dev, prefix)
+		s.stats.ModelCalls += int64(len(prefix))
+	}
+
+	ctx := make([]model.Token, len(prefix), len(prefix)+16)
+	copy(ctx, prefix)
+	state := s.q.Pattern.Start()
+	logP := prefLogP
+	patLen := 0
+
+	for patLen <= s.q.MaxTokens {
+		lp := s.dev.Forward([][]model.Token{clampCtx(m, ctx)})[0]
+		s.stats.ModelCalls++
+		_, filtered := decoding.Allowed(s.q.Rule, lp)
+
+		// Candidate moves: automaton edges allowed by the rule, plus the
+		// stop action when the state accepts (weighted by EOS when
+		// RequireEOS, else by the remaining stop mass).
+		type move struct {
+			sym  model.Token
+			to   automaton.StateID
+			lp   float64
+			stop bool
+		}
+		var moves []move
+		if patLen < s.q.MaxTokens {
+			for _, e := range s.q.Pattern.Edges(state) {
+				w := filtered[e.Sym]
+				if w == model.NegInf {
+					continue
+				}
+				if s.q.Filter != nil {
+					cand := append(append([]model.Token{}, ctx[len(ctx)-patLen:]...), e.Sym)
+					if !s.q.Filter.AllowPartial(cand) {
+						continue
+					}
+				}
+				moves = append(moves, move{sym: e.Sym, to: e.To, lp: w})
+			}
+		}
+		if s.q.Pattern.Accepting(state) && patLen > 0 {
+			okFinal := s.q.Filter == nil || s.q.Filter.AllowFinal(ctx[len(ctx)-patLen:])
+			if okFinal {
+				if s.q.RequireEOS {
+					if w := filtered[m.EOS()]; w != model.NegInf {
+						moves = append(moves, move{lp: w, stop: true})
+					}
+				} else {
+					// Without EOS semantics, stop with the probability mass
+					// not claimed by continuing edges.
+					cont := model.NegInf
+					for _, mv := range moves {
+						cont = model.LogSumExp([]float64{cont, mv.lp})
+					}
+					stopLP := math.Log(math.Max(1e-12, 1-math.Exp(cont)))
+					moves = append(moves, move{lp: stopLP, stop: true})
+				}
+			}
+		}
+		if len(moves) == 0 {
+			return nil, false // dead end under the rule: reject
+		}
+		// Sample among moves proportionally to exp(lp).
+		weights := make([]float64, len(moves))
+		for i, mv := range moves {
+			weights[i] = mv.lp
+		}
+		choice := sampleLog(s.opts.Rng, weights)
+		mv := moves[choice]
+		if mv.stop {
+			pattern := make([]model.Token, patLen)
+			copy(pattern, ctx[len(ctx)-patLen:])
+			if s.q.RequireEOS {
+				logP += lp[m.EOS()]
+			}
+			return &Result{
+				Prefix:        prefix,
+				Pattern:       pattern,
+				LogProb:       logP,
+				PrefixLogProb: prefLogP,
+			}, true
+		}
+		logP += lp[mv.sym]
+		ctx = append(ctx, mv.sym)
+		state = mv.to
+		patLen++
+	}
+	return nil, false // exceeded MaxTokens without stopping
+}
+
+// sampleLog draws an index proportionally to exp(weights[i]), stably.
+func sampleLog(rng *rand.Rand, weights []float64) int {
+	max := model.NegInf
+	for _, w := range weights {
+		if w > max {
+			max = w
+		}
+	}
+	total := 0.0
+	probs := make([]float64, len(weights))
+	for i, w := range weights {
+		if math.IsInf(w, -1) {
+			continue
+		}
+		probs[i] = math.Exp(w - max)
+		total += probs[i]
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

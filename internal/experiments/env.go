@@ -1,0 +1,160 @@
+// Package experiments implements one harness per table and figure of the
+// paper's evaluation (§4), runnable through cmd/relm-bench and the root
+// bench_test.go. Each harness returns a structured result plus a text
+// rendering; tests assert the *shape* of each result (who wins, orderings,
+// crossovers) rather than absolute numbers, per DESIGN.md.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/device"
+	"repro/internal/lambada"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/internal/web"
+	"repro/relm"
+)
+
+// Scale selects experiment sizing: Quick keeps everything test-suite sized;
+// Full approaches the paper's sample counts.
+type Scale int
+
+const (
+	// Quick is sized for unit tests and CI (seconds).
+	Quick Scale = iota
+	// Full is sized for the reproduction run (minutes).
+	Full
+)
+
+// Env bundles the synthetic world every experiment runs against: corpora,
+// tokenizer, the two model sizes (GPT-2 XL and GPT-2 analogs), and the web
+// oracle.
+type Env struct {
+	Scale     Scale
+	Seed      int64
+	Tok       *tokenizer.BPE
+	Large     *relm.Model // GPT-2 XL analog (higher order, memorizes harder)
+	Small     *relm.Model // GPT-2 analog
+	Web       *corpus.WebCorpus
+	BiasLines []string
+	Pile      []corpus.PileDoc
+	Lambada   *lambada.Dataset
+	Oracle    *web.Oracle
+	Corpus    []string // the full training mix
+}
+
+// EnvConfig overrides sizing; zero values take Scale-based defaults.
+type EnvConfig struct {
+	Scale          Scale
+	Seed           int64
+	Merges         int
+	MemorizedURLs  int
+	RepeatsPerURL  int
+	DistractorURLs int
+	FillerLines    int
+	BiasPerPair    int
+	PileDocs       int
+	LambadaItems   int
+	LargeOrder     int
+	SmallOrder     int
+	MaxSeqLen      int
+}
+
+func (c *EnvConfig) defaults() {
+	pick := func(v *int, quick, full int) {
+		if *v == 0 {
+			if c.Scale == Quick {
+				*v = quick
+			} else {
+				*v = full
+			}
+		}
+	}
+	pick(&c.Merges, 2200, 3000)
+	pick(&c.MemorizedURLs, 12, 60)
+	pick(&c.RepeatsPerURL, 4, 5)
+	pick(&c.DistractorURLs, 30, 200)
+	pick(&c.FillerLines, 60, 400)
+	pick(&c.BiasPerPair, 3, 8)
+	pick(&c.PileDocs, 60, 400)
+	pick(&c.LambadaItems, 60, 500)
+	pick(&c.LargeOrder, 8, 8)
+	pick(&c.SmallOrder, 3, 3)
+	pick(&c.MaxSeqLen, 64, 96)
+	if c.Seed == 0 {
+		c.Seed = 20230515 // MLSys 2023 vintage
+	}
+}
+
+// NewEnv builds the full experimental world deterministically.
+func NewEnv(cfg EnvConfig) *Env {
+	cfg.defaults()
+	gen := corpus.NewGenerator(cfg.Seed)
+	webCorpus := gen.BuildWebCorpus(corpus.WebCorpusConfig{
+		MemorizedURLs:  cfg.MemorizedURLs,
+		RepeatsPerURL:  cfg.RepeatsPerURL,
+		FillerLines:    cfg.FillerLines,
+		DistractorURLs: cfg.DistractorURLs,
+	})
+	biasLines := gen.BuildBiasCorpus(corpus.BiasCorpusConfig{SentencesPerPair: cfg.BiasPerPair})
+	pile := gen.BuildPile(corpus.PileConfig{Docs: cfg.PileDocs})
+	// Generate twice the requested cloze items and hold the first half out
+	// for evaluation: zero-shot means the eval passages are NOT trained on,
+	// only same-distribution passages (shared templates and entity pool).
+	lamAll := lambada.Generate(2*cfg.LambadaItems, cfg.Seed+1)
+	lam := &lambada.Dataset{Items: lamAll.Items[:cfg.LambadaItems]}
+	lamTrain := &lambada.Dataset{Items: lamAll.Items[cfg.LambadaItems:]}
+
+	extra := append(gen.BuildPhoneLines(3, 3), lamTrain.TrainingLines()...)
+	extra = append(extra, lambada.EntityMentions(3)...)
+	extra = append(extra, lambada.DistractorLines(20)...)
+	mix := corpus.TrainingMix(webCorpus, biasLines, pile, extra)
+	tok := tokenizer.Train(mix, cfg.Merges)
+
+	// The cache component gives the models transformer-like long-range
+	// recall (entities mentioned earlier in the context become likelier),
+	// which the LAMBADA-style cloze requires. The large model recalls more
+	// strongly, mirroring GPT-2 XL vs GPT-2.
+	large := model.TrainNGram(mix, tok, model.NGramConfig{
+		Order: cfg.LargeOrder, MaxSeqLen: cfg.MaxSeqLen, Lambda: 0.9, CacheWeight: 0.3,
+	})
+	small := model.TrainNGram(mix, tok, model.NGramConfig{
+		Order: cfg.SmallOrder, MaxSeqLen: cfg.MaxSeqLen, Lambda: 0.7, CacheWeight: 0.12,
+	})
+
+	return &Env{
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+		Tok:       tok,
+		Large:     relm.NewModel(large, tok, relm.ModelOptions{}),
+		Small:     relm.NewModel(small, tok, relm.ModelOptions{}),
+		Web:       webCorpus,
+		BiasLines: biasLines,
+		Pile:      pile,
+		Lambada:   lam,
+		Oracle:    web.NewOracle(webCorpus.Registry, 50*time.Millisecond),
+		Corpus:    mix,
+	}
+}
+
+// FreshModel re-wraps the large model with a fresh device so experiments do
+// not share clocks.
+func (e *Env) FreshModel(small bool) *relm.Model {
+	var lm model.LanguageModel
+	if small {
+		lm = e.Small.LM
+	} else {
+		lm = e.Large.LM
+	}
+	return relm.NewModel(lm, e.Tok, relm.ModelOptions{})
+}
+
+// FreshOracle returns an oracle with clean counters over the same registry.
+func (e *Env) FreshOracle() *web.Oracle {
+	return web.NewOracle(e.Web.Registry, 50*time.Millisecond)
+}
+
+// DeviceStats extracts utilization from a model's device.
+func DeviceStats(m *relm.Model) device.Stats { return m.Dev.Stats() }

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	"repro/relm"
+)
+
+// FamiliesResult compares model architectures behind the same engine — the
+// paper's future-work direction ("extend ReLM to other families of models").
+// Each family trains on the same corpus and tokenizer and answers the same
+// structured queries; the engine code path is identical.
+type FamiliesResult struct {
+	// Rows keyed by family name ("ngram", "lbl", "transformer").
+	Rows []FamilyRow
+	// Choices is the number of multiple-choice probes per family.
+	Choices int
+}
+
+// FamilyRow is one architecture's line in the comparison.
+type FamilyRow struct {
+	Name string
+	// TrainTime is wall-clock fit time.
+	TrainTime time.Duration
+	// ChoiceAcc is multiple-choice accuracy: the fraction of probes where
+	// the trained completion outranks a never-seen distractor (§2.4's
+	// closed-choice grading, run through the engine).
+	ChoiceAcc float64
+	// Memorized reports whether shortest-path extraction recovered a
+	// trained phone number verbatim (§4.1's mechanism in miniature).
+	Memorized bool
+	// ModelCalls counts LM sequence evaluations across all queries.
+	ModelCalls int64
+}
+
+// FamiliesConfig sizes the comparison.
+type FamiliesConfig struct {
+	// TrainLines caps corpus lines used for training (0 = full corpus);
+	// the neural families pay per-line training cost.
+	TrainLines int
+	// TransformerEpochs overrides the transformer budget (default 1).
+	TransformerEpochs int
+	// Families restricts which architectures run (nil = all three).
+	Families []string
+}
+
+func (c *FamiliesConfig) defaults() {
+	if c.TransformerEpochs == 0 {
+		c.TransformerEpochs = 1
+	}
+	if c.Families == nil {
+		c.Families = []string{"ngram", "lbl", "transformer"}
+	}
+}
+
+// familiesPhoneNumber is the memorization plant: trained several times so
+// every architecture has the chance to memorize it.
+const familiesPhoneNumber = "555 123 4567"
+
+// RunFamilies trains each architecture on the environment's corpus (plus a
+// planted phone number) and runs identical multiple-choice and memorization
+// queries against each.
+func RunFamilies(env *Env, cfg FamiliesConfig) (*FamiliesResult, error) {
+	cfg.defaults()
+	lines := env.Corpus
+	if cfg.TrainLines > 0 && len(lines) > cfg.TrainLines {
+		lines = lines[:cfg.TrainLines]
+	}
+	plant := "My phone number is " + familiesPhoneNumber
+	for i := 0; i < 5; i++ {
+		lines = append(lines, plant)
+	}
+	// The corpus may contain other trained phone lines; extraction of any
+	// of them counts as memorization (the §4.1 ground-truth rule: the
+	// training set is the oracle).
+	trainedNumbers := map[string]bool{}
+	for _, l := range lines {
+		if rest, ok := strings.CutPrefix(l, "My phone number is "); ok {
+			trainedNumbers[rest] = true
+		}
+	}
+
+	// Multiple-choice probes: each trained profession against a distractor
+	// string that never occurs in any corpus.
+	professions := []string{"art", "science", "business", "medicine", "engineering", "math"}
+	const distractor = "zugzwang"
+
+	res := &FamiliesResult{Choices: len(professions)}
+	for _, name := range cfg.Families {
+		var lm model.LanguageModel
+		start := time.Now()
+		switch name {
+		case "ngram":
+			lm = model.TrainNGram(lines, env.Tok, model.NGramConfig{
+				Order: 6, MaxSeqLen: 64, Lambda: 0.9, CacheWeight: 0.3,
+			})
+		case "lbl":
+			lm = model.TrainLogBilinear(lines, env.Tok, model.LBLConfig{Epochs: 3, CtxLen: 4, Dim: 24, Seed: env.Seed})
+		case "transformer":
+			lm = model.TrainTransformer(lines, env.Tok, model.TransformerConfig{
+				DModel: 24, NHeads: 2, NLayers: 1, MaxSeqLen: 64,
+				Epochs: cfg.TransformerEpochs, Seed: env.Seed,
+			})
+		default:
+			return nil, fmt.Errorf("families: unknown family %q", name)
+		}
+		row := FamilyRow{Name: name, TrainTime: time.Since(start)}
+		m := relm.NewModel(lm, env.Tok, relm.ModelOptions{})
+
+		correct := 0
+		for _, prof := range professions {
+			got, err := topChoice(m, "The man was trained in", " (("+prof+")|("+distractor+"))")
+			if err != nil {
+				return nil, fmt.Errorf("families %s choice: %w", name, err)
+			}
+			if strings.TrimSpace(got) == prof {
+				correct++
+			}
+		}
+		row.ChoiceAcc = float64(correct) / float64(len(professions))
+
+		got, err := topChoice(m, "My phone number is", " [0-9]{3} [0-9]{3} [0-9]{4}")
+		if err != nil {
+			return nil, fmt.Errorf("families %s memorization: %w", name, err)
+		}
+		row.Memorized = trainedNumbers[strings.TrimSpace(got)]
+
+		row.ModelCalls = m.Dev.Stats().Sequences
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// topChoice returns the pattern text of the most likely completion.
+func topChoice(m *relm.Model, prefix, pattern string) (string, error) {
+	results, err := relm.Search(m, relm.SearchQuery{
+		Query:    relm.QueryString{Pattern: pattern, Prefix: prefix},
+		MaxNodes: 100000,
+	})
+	if err != nil {
+		return "", err
+	}
+	match, err := results.Next()
+	if err != nil {
+		return "", err
+	}
+	return match.PatternText, nil
+}
+
+// RenderFamilies writes the architecture comparison table.
+func RenderFamilies(w io.Writer, r *FamiliesResult) {
+	fmt.Fprintf(w, "\n== families: one engine, three model architectures (%d choice probes) ==\n", r.Choices)
+	fmt.Fprintf(w, "%-12s %12s %10s %12s %12s\n", "family", "train-time", "choice", "memorized", "model-calls")
+	for _, row := range r.Rows {
+		mem := "no"
+		if row.Memorized {
+			mem = "yes"
+		}
+		fmt.Fprintf(w, "%-12s %12s %9.0f%% %12s %12d\n",
+			row.Name, row.TrainTime.Round(time.Millisecond),
+			row.ChoiceAcc*100, mem, row.ModelCalls)
+	}
+	fmt.Fprintln(w, "the engine is architecture-agnostic: the same queries execute against")
+	fmt.Fprintln(w, "any LanguageModel; accuracy and cost differ, the semantics do not.")
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFamiliesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three models")
+	}
+	env := sharedEnv(t)
+	res, err := RunFamilies(env, FamiliesConfig{TrainLines: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ModelCalls == 0 {
+			t.Errorf("%s: no model calls recorded", row.Name)
+		}
+		if row.ChoiceAcc < 0 || row.ChoiceAcc > 1 {
+			t.Errorf("%s: accuracy out of range", row.Name)
+		}
+	}
+	// The n-gram memorizes its training set by construction (the §4.1
+	// property); its probes must succeed.
+	if res.Rows[0].Name != "ngram" || !res.Rows[0].Memorized {
+		t.Error("ngram failed to memorize the planted phone number")
+	}
+	if res.Rows[0].ChoiceAcc < 0.5 {
+		t.Errorf("ngram choice accuracy %.2f, want >= 0.5", res.Rows[0].ChoiceAcc)
+	}
+	var buf bytes.Buffer
+	RenderFamilies(&buf, res)
+	if !strings.Contains(buf.String(), "transformer") {
+		t.Error("render missing transformer row")
+	}
+}
+
+func TestRunFamiliesUnknownFamily(t *testing.T) {
+	env := sharedEnv(t)
+	if _, err := RunFamilies(env, FamiliesConfig{Families: []string{"rnn"}}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/lambada"
+	"repro/internal/textio"
+	"repro/relm"
+)
+
+// LambadaVariant is one of Table 1's four query shapes.
+type LambadaVariant string
+
+const (
+	// LambadaBaseline: any word plus optional punctuation.
+	LambadaBaseline LambadaVariant = "baseline"
+	// LambadaWords: restrict to words appearing in the context.
+	LambadaWords LambadaVariant = "words"
+	// LambadaTerminated: baseline + EOS required after the word.
+	LambadaTerminated LambadaVariant = "terminated"
+	// LambadaNoStop: terminated + stop-word filtering.
+	LambadaNoStop LambadaVariant = "no stop"
+)
+
+// AllLambadaVariants lists Table 1's columns in order.
+func AllLambadaVariants() []LambadaVariant {
+	return []LambadaVariant{LambadaBaseline, LambadaWords, LambadaTerminated, LambadaNoStop}
+}
+
+// LambadaResult is Table 1: accuracy per (model, variant).
+type LambadaResult struct {
+	// Accuracy[model name][variant] in [0,1].
+	Accuracy map[string]map[LambadaVariant]float64
+	Items    int
+}
+
+// LambadaConfig sizes the run.
+type LambadaConfig struct {
+	// Items caps evaluated cloze examples (paper: 500).
+	Items int
+	// Variants to run (nil = all four).
+	Variants []LambadaVariant
+	// Models to run: "large", "small" (nil = both).
+	Models []string
+}
+
+// RunLambada reproduces Table 1: zero-shot cloze accuracy as the query is
+// progressively constrained (§4.4).
+func RunLambada(env *Env, cfg LambadaConfig) (*LambadaResult, error) {
+	if cfg.Items == 0 {
+		if env.Scale == Quick {
+			cfg.Items = 25
+		} else {
+			cfg.Items = 500
+		}
+	}
+	if cfg.Variants == nil {
+		cfg.Variants = AllLambadaVariants()
+	}
+	if cfg.Models == nil {
+		cfg.Models = []string{"large", "small"}
+	}
+	items := env.Lambada.Items
+	if len(items) > cfg.Items {
+		items = items[:cfg.Items]
+	}
+	res := &LambadaResult{Accuracy: map[string]map[LambadaVariant]float64{}, Items: len(items)}
+	for _, name := range cfg.Models {
+		m := env.FreshModel(name == "small")
+		res.Accuracy[name] = map[LambadaVariant]float64{}
+		for _, v := range cfg.Variants {
+			correct := 0
+			for _, item := range items {
+				got, err := predictLastWord(m, item, v)
+				if err == nil && got == item.Target {
+					correct++
+				}
+			}
+			res.Accuracy[name][v] = float64(correct) / float64(len(items))
+		}
+	}
+	return res, nil
+}
+
+// predictLastWord runs one cloze query and returns the predicted word
+// (punctuation stripped).
+func predictLastWord(m *relm.Model, item lambada.Item, v LambadaVariant) (string, error) {
+	q := relm.SearchQuery{
+		Query: relm.QueryString{
+			Prefix: relm.EscapeLiteral(item.Context),
+		},
+		TopK:      1000,
+		MaxTokens: 12,
+		MaxNodes:  40000,
+		// The cloze context is one long literal; enumeration bounds must
+		// admit its full length.
+		PrefixMaxLen: len(item.Context) + 1,
+	}
+	punct := `(\.|!|\?)?(")?`
+	switch v {
+	case LambadaBaseline:
+		q.Query.Pattern = ` ([a-zA-Z]+)` + punct
+	case LambadaWords:
+		words := lambada.ContextWords(item.Context)
+		opts := make([]string, len(words))
+		for i, w := range words {
+			opts[i] = "(" + relm.EscapeLiteral(w) + ")"
+		}
+		q.Query.Pattern = ` (` + strings.Join(opts, "|") + `)` + punct
+	case LambadaTerminated:
+		q.Query.Pattern = ` ([a-zA-Z]+)` + punct
+		q.RequireEOS = true
+	case LambadaNoStop:
+		q.Query.Pattern = ` ([a-zA-Z]+)` + punct
+		q.RequireEOS = true
+		q.Preprocessors = []relm.Preprocessor{relm.RemoveWords{
+			Words:      stopWordForms(),
+			IgnoreCase: false,
+		}}
+	default:
+		return "", fmt.Errorf("unknown variant %q", v)
+	}
+	results, err := relm.Search(m, q)
+	if err != nil {
+		return "", err
+	}
+	match, err := results.Next()
+	if err != nil {
+		return "", err
+	}
+	return strings.Trim(match.PatternText, ` .!?"`), nil
+}
+
+// stopWordForms expands the nltk-style stop list into the exact strings the
+// pattern language contains: leading space, optional punctuation, and
+// capitalized variants — the removal set for the automaton difference.
+func stopWordForms() []string {
+	suffixes := []string{"", ".", "!", "?", `"`, `."`, `!"`, `?"`}
+	var out []string
+	for _, w := range lambada.StopWords {
+		variants := []string{w, strings.ToUpper(w[:1]) + w[1:]}
+		for _, v := range variants {
+			for _, s := range suffixes {
+				out = append(out, " "+v+s)
+			}
+		}
+	}
+	return out
+}
+
+// RenderLambada writes the Table 1 analog.
+func RenderLambada(w io.Writer, r *LambadaResult) {
+	textio.Section(w, "table1: zero-shot LAMBADA-style accuracy")
+	variants := AllLambadaVariants()
+	header := []string{"model"}
+	for _, v := range variants {
+		header = append(header, string(v))
+	}
+	tb := textio.NewTable(header...)
+	for _, name := range []string{"large", "small"} {
+		if _, ok := r.Accuracy[name]; !ok {
+			continue
+		}
+		row := []interface{}{modelLabel(name)}
+		for _, v := range variants {
+			row = append(row, fmt.Sprintf("%.1f%%", r.Accuracy[name][v]*100))
+		}
+		tb.AddRow(row...)
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "items: %d (paper: accuracy increases baseline -> words -> terminated -> no stop; large > small)\n", r.Items)
+}
+
+func modelLabel(name string) string {
+	if name == "large" {
+		return "ngram-XL (order 8)"
+	}
+	return "ngram-small (order 3)"
+}

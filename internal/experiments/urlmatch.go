@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"repro/internal/automaton"
+	"repro/internal/regex"
+)
+
+// urlMatcher grades baseline generations: membership plus longest valid
+// prefix extraction (baseline samples often continue past the URL).
+type urlMatcher struct {
+	d *automaton.DFA
+}
+
+func relmCompile(pattern string) (*automaton.DFA, error) {
+	return regex.Compile(pattern)
+}
+
+// longestValidPrefix returns the longest prefix of text accepted by the URL
+// pattern, or "" when none is. This mirrors how the baseline's free-running
+// generations are post-processed into URL candidates.
+func (m urlMatcher) longestValidPrefix(text string) string {
+	st := m.d.Start()
+	best := -1
+	for i := 0; i < len(text); i++ {
+		next, ok := m.d.Step(st, int(text[i]))
+		if !ok {
+			break
+		}
+		st = next
+		if m.d.Accepting(st) {
+			best = i + 1
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return text[:best]
+}

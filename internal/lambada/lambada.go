@@ -1,0 +1,222 @@
+// Package lambada generates the synthetic cloze dataset standing in for
+// LAMBADA (§4.4; see DESIGN.md substitution table). Each item is a short
+// passage whose final word requires long-range context: a distinctive entity
+// (a name or a concrete noun) is introduced in the first sentence and the
+// passage's last word refers back to it. Stop words ("it", "that", "her")
+// are locally plausible distractor completions, exactly the failure mode the
+// paper's no-stop filter removes.
+package lambada
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Item is one cloze example.
+type Item struct {
+	// Context is the passage up to (and excluding) the final word, ending
+	// with a trailing space's worth of boundary (no trailing space included).
+	Context string
+	// Target is the single final word to predict.
+	Target string
+}
+
+// Line renders the full passage (context + " " + target).
+func (it Item) Line() string { return it.Context + " " + it.Target }
+
+// StopWords is an nltk-like English stop-word list (the filter vocabulary
+// for the "no stop" query variant).
+var StopWords = []string{
+	"i", "me", "my", "we", "our", "you", "your", "he", "him", "his", "she",
+	"her", "it", "its", "they", "them", "their", "what", "which", "who",
+	"this", "that", "these", "those", "am", "is", "are", "was", "were", "be",
+	"been", "being", "have", "has", "had", "do", "does", "did", "a", "an",
+	"the", "and", "but", "if", "or", "because", "as", "until", "while", "of",
+	"at", "by", "for", "with", "about", "against", "between", "into",
+	"through", "during", "before", "after", "above", "below", "to", "from",
+	"up", "down", "in", "out", "on", "off", "over", "under", "again", "then",
+	"once", "here", "there", "when", "where", "why", "how", "all", "any",
+	"both", "each", "few", "more", "most", "other", "some", "such", "no",
+	"nor", "not", "only", "own", "same", "so", "than", "too", "very", "can",
+	"will", "just", "now", "him", "himself", "herself", "itself",
+}
+
+// IsStopWord reports membership in StopWords (case-insensitive).
+func IsStopWord(w string) bool {
+	w = strings.ToLower(w)
+	for _, s := range StopWords {
+		if s == w {
+			return true
+		}
+	}
+	return false
+}
+
+// entities are the distinctive answer words (names and concrete nouns, as in
+// the paper's reference distribution: "Sarah", "menu", "Gabriel", ...).
+var entities = []string{
+	"Sarah", "Gabriel", "Helen", "Vivienne", "Joran", "Marcus", "Elena",
+	"Tobias", "Ingrid", "Casper", "Matilda", "Ruben", "Odette", "Felix",
+	"Beatrix", "Leopold", "Greta", "Anselm", "Petra", "Dimitri",
+	"menu", "portal", "lantern", "compass", "violin", "orchard", "anchor",
+	"ledger", "satchel", "telescope", "locket", "chisel", "harp",
+	"gramophone", "inkwell", "sundial", "tapestry", "barometer", "easel",
+	"hourglass", "typewriter", "candelabra", "spyglass", "almanac",
+	"weathervane", "music box", "sextant", "abacus",
+}
+
+var firstSentence = []string{
+	"%s waited by the door for a long time",
+	"everyone in the village spoke about %s that week",
+	"the first thing on the table was the %s",
+	"nobody expected %s to arrive so early",
+	"the old box in the attic held a %s",
+}
+
+var middleSentences = []string{
+	"the rain kept falling and the streets were quiet",
+	"a long silence settled over the room",
+	"they talked about the harvest and the coming winter",
+	"the lamplight flickered against the window",
+	"hours passed and the fire burned low",
+	"someone laughed in the other room and then stopped",
+	"it was late and the roads were empty",
+}
+
+// finalTemplates come in two shapes: determiner-final ("... the <answer>")
+// and verb-final ("... mentioned <answer>"). The two shapes expose the two
+// failure modes §4.4 documents — determiner-final contexts attract
+// continuation words, verb-final contexts attract sentence-final pronouns.
+var finalTemplates = []string{
+	"in the end everyone turned to look at the",
+	"after all this time she finally remembered the",
+	"and the only thing he could think about was the",
+	"when the door opened they all saw the",
+	"and in the end nobody ever mentioned",
+	"for the rest of the evening she watched",
+}
+
+// determinerFinal reports whether a final template ends with "the".
+func determinerFinal(tmpl string) bool { return strings.HasSuffix(tmpl, " the") }
+
+// DistractorLines generates the training sentences that create the paper's
+// §4.4 failure modes without ever being valid cloze answers:
+//
+//   - Continuation traps: after a determiner-final template, a word the
+//     model wants to *continue* ("... look at the old garden and smiled",
+//     "... saw the time had come"). A query without EOS termination happily
+//     returns "old" or "time"; the terminated variant rejects them.
+//
+//   - Pronoun traps: after a verb-final template, a sentence-final stop word
+//     ("... nobody ever mentioned it."). The terminated variant falls for
+//     these — they end sentences legitimately — and only the no-stop filter
+//     removes them.
+//
+// perTemplate scales the trap strength relative to the genuine passages.
+func DistractorLines(perTemplate int) []string {
+	if perTemplate <= 0 {
+		perTemplate = 8
+	}
+	// Trap words are deliberately concentrated ("old" twice per cycle) so
+	// their conditional probability after the template rivals the genuine
+	// answers' — diffuse traps never fire.
+	continuations := []string{
+		"%s old garden and smiled",
+		"%s old road and said nothing",
+		"%s time had come at last",
+		"%s door swing open slowly",
+	}
+	pronouns := []string{"it", "him", "her", "them"}
+	var out []string
+	for _, tmpl := range finalTemplates {
+		if determinerFinal(tmpl) {
+			for i := 0; i < perTemplate; i++ {
+				out = append(out, fmt.Sprintf(continuations[i%len(continuations)], tmpl))
+			}
+		} else {
+			for i := 0; i < perTemplate; i++ {
+				out = append(out, tmpl+" "+pronouns[i%len(pronouns)])
+			}
+		}
+	}
+	return out
+}
+
+// Dataset is a list of items plus the vocabulary used, so the training
+// corpus can cover the answers.
+type Dataset struct {
+	Items []Item
+}
+
+// Generate builds n deterministic cloze items.
+func Generate(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{}
+	for i := 0; i < n; i++ {
+		entity := entities[rng.Intn(len(entities))]
+		first := fmt.Sprintf(firstSentence[rng.Intn(len(firstSentence))], entity)
+		mids := 1 + rng.Intn(2)
+		parts := []string{first}
+		for m := 0; m < mids; m++ {
+			parts = append(parts, middleSentences[rng.Intn(len(middleSentences))])
+		}
+		final := finalTemplates[rng.Intn(len(finalTemplates))]
+		context := strings.Join(parts, ". ") + ". " + final
+		ds.Items = append(ds.Items, Item{Context: context, Target: entity})
+	}
+	return ds
+}
+
+// TrainingLines renders passages as corpus lines so a model trained on them
+// learns the long-range entity dependency.
+func (d *Dataset) TrainingLines() []string {
+	out := make([]string, len(d.Items))
+	for i, it := range d.Items {
+		out[i] = it.Line()
+	}
+	return out
+}
+
+// EntityMentions returns filler sentences mentioning every entity in the
+// pool `perEntity` times. Mixed into training corpora, they guarantee each
+// entity is a known (and mergeable) word even when the train/eval split
+// leaves it out of the training passages — the way real names are frequent
+// enough in web text to earn their own BPE tokens.
+func EntityMentions(perEntity int) []string {
+	if perEntity <= 0 {
+		perEntity = 3
+	}
+	// Frames end with the entity so the model learns that these nouns can
+	// close a sentence — the EOS support the terminated query variant needs.
+	frames := []string{
+		"in the corner of the room stood the %s",
+		"for many years nobody had seen the %s",
+		"that evening they spoke quietly about the %s",
+	}
+	var out []string
+	for _, e := range entities {
+		for i := 0; i < perEntity; i++ {
+			out = append(out, fmt.Sprintf(frames[i%len(frames)], e))
+		}
+	}
+	return out
+}
+
+// ContextWords returns the distinct words of an item's context, the
+// vocabulary for the paper's "words" query variant (<words> disjunction).
+func ContextWords(context string) []string {
+	fields := strings.FieldsFunc(context, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z')
+	})
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range fields {
+		if f == "" || seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	return out
+}

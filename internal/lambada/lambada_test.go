@@ -1,0 +1,168 @@
+package lambada
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(50, 7)
+	b := Generate(50, 7)
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatal("generation nondeterministic")
+		}
+	}
+}
+
+func TestTargetAppearsInContext(t *testing.T) {
+	// The long-range dependency: the answer entity is introduced earlier in
+	// the passage, so the "words" query variant can find it.
+	ds := Generate(100, 3)
+	for _, it := range ds.Items {
+		if !strings.Contains(it.Context, it.Target) {
+			t.Errorf("target %q not in context %q", it.Target, it.Context)
+		}
+	}
+}
+
+func TestTargetIsNotStopWord(t *testing.T) {
+	ds := Generate(100, 5)
+	for _, it := range ds.Items {
+		if IsStopWord(it.Target) {
+			t.Errorf("target %q is a stop word; no-stop filtering would break", it.Target)
+		}
+	}
+}
+
+func TestContextEndsMidSentence(t *testing.T) {
+	// Contexts end mid-phrase — either determiner-final ("... saw the") or
+	// verb-final ("... nobody ever mentioned") — so the completion is a
+	// single word: the cloze shape.
+	valid := map[string]bool{
+		"the": true, "mentioned": true, "watched": true,
+	}
+	ds := Generate(20, 9)
+	for _, it := range ds.Items {
+		words := strings.Fields(it.Context)
+		last := words[len(words)-1]
+		if !valid[last] {
+			t.Errorf("context ends with %q, want a template tail: %q", last, it.Context)
+		}
+	}
+}
+
+func TestDistractorLines(t *testing.T) {
+	lines := DistractorLines(4)
+	if len(lines) == 0 {
+		t.Fatal("no distractor lines")
+	}
+	sawContinuation, sawPronoun := false, false
+	for _, l := range lines {
+		if strings.Contains(l, " old ") || strings.Contains(l, " time had come") {
+			sawContinuation = true
+		}
+		for _, p := range []string{" it", " him", " her", " them"} {
+			if strings.HasSuffix(l, p) {
+				sawPronoun = true
+			}
+		}
+	}
+	if !sawContinuation {
+		t.Error("missing continuation-trap lines")
+	}
+	if !sawPronoun {
+		t.Error("missing pronoun-trap lines")
+	}
+}
+
+func TestEntityMentions(t *testing.T) {
+	lines := EntityMentions(2)
+	if len(lines) == 0 {
+		t.Fatal("no entity mentions")
+	}
+	// Every mention is entity-final (EOS support for the terminated query).
+	for _, l := range lines {
+		found := false
+		for _, e := range entities {
+			if strings.HasSuffix(l, e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("mention %q does not end with an entity", l)
+		}
+	}
+	// Every entity appears.
+	joined := strings.Join(lines, "\n")
+	for _, e := range entities {
+		if !strings.Contains(joined, e) {
+			t.Errorf("entity %q missing from mentions", e)
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	it := Item{Context: "look at the", Target: "menu"}
+	if it.Line() != "look at the menu" {
+		t.Errorf("Line = %q", it.Line())
+	}
+}
+
+func TestTrainingLines(t *testing.T) {
+	ds := Generate(10, 1)
+	lines := ds.TrainingLines()
+	if len(lines) != 10 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, l := range lines {
+		if !strings.HasSuffix(l, ds.Items[i].Target) {
+			t.Errorf("line %d should end with the target", i)
+		}
+	}
+}
+
+func TestContextWords(t *testing.T) {
+	words := ContextWords("Sarah waited. Sarah waited again, again")
+	want := map[string]bool{"Sarah": true, "waited": true, "again": true}
+	if len(words) != len(want) {
+		t.Fatalf("words = %v", words)
+	}
+	for _, w := range words {
+		if !want[w] {
+			t.Errorf("unexpected word %q", w)
+		}
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "The", "it", "IT", "that"} {
+		if !IsStopWord(w) {
+			t.Errorf("%q should be a stop word", w)
+		}
+	}
+	for _, w := range []string{"Sarah", "menu", "telescope"} {
+		if IsStopWord(w) {
+			t.Errorf("%q should not be a stop word", w)
+		}
+	}
+}
+
+func TestStopWordsAreDistractors(t *testing.T) {
+	// Contexts contain stop words (so the baseline query can wrongly pick
+	// them) — this drives Table 1's baseline-vs-no-stop gap.
+	ds := Generate(50, 11)
+	withStop := 0
+	for _, it := range ds.Items {
+		for _, w := range ContextWords(it.Context) {
+			if IsStopWord(w) {
+				withStop++
+				break
+			}
+		}
+	}
+	if withStop < 40 {
+		t.Errorf("only %d/50 contexts contain stop words", withStop)
+	}
+}

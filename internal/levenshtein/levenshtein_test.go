@@ -1,0 +1,218 @@
+package levenshtein
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automaton"
+)
+
+func TestDistanceOracle(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"cat", "cat", 0},
+		{"cat", "cut", 1},
+		{"cat", "cats", 1},
+		{"cat", "at", 1},
+		{"abc", "cba", 2},
+	}
+	for _, tc := range cases {
+		if got := Distance(tc.a, tc.b); got != tc.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestExpandContainsOriginal(t *testing.T) {
+	base := automaton.FromStrings([]string{"cat", "dog"})
+	exp := Expand(base, []byte("abcdegot"))
+	for _, s := range []string{"cat", "dog"} {
+		if !exp.MatchString(s) {
+			t.Errorf("distance-1 expansion rejects original %q", s)
+		}
+	}
+}
+
+func TestExpandSubstitutionInsertionDeletion(t *testing.T) {
+	base := automaton.FromStrings([]string{"cat"})
+	alpha := []byte("abcdt")
+	exp := Expand(base, alpha)
+	yes := []string{
+		"cat",  // distance 0
+		"bat",  // substitution
+		"caat", // insertion
+		"ct",   // deletion
+		"at",   // deletion of first
+		"cata", // insertion at end
+	}
+	no := []string{
+		"dog", // distance 3
+		"ca",  // wait: "ca" is distance 1 (delete t) — move to yes
+	}
+	_ = no
+	yes = append(yes, "ca")
+	for _, s := range yes {
+		if !exp.MatchString(s) {
+			t.Errorf("expansion should accept %q (distance %d)", s, Distance("cat", s))
+		}
+	}
+	for _, s := range []string{"dog", "c", "caaat", "xyz"} {
+		if exp.MatchString(s) {
+			t.Errorf("expansion should reject %q (distance %d)", s, Distance("cat", s))
+		}
+	}
+}
+
+func TestExpandMatchesDistanceOracle(t *testing.T) {
+	// Exhaustive agreement on short strings over a tiny alphabet.
+	base := automaton.FromStrings([]string{"ab", "ba"})
+	alpha := []byte("ab")
+	exp := Expand(base, alpha)
+	var probe func(prefix string, depth int)
+	probe = func(prefix string, depth int) {
+		want := Distance(prefix, "ab") <= 1 || Distance(prefix, "ba") <= 1
+		if got := exp.MatchString(prefix); got != want {
+			t.Errorf("expansion match %q = %v, oracle says %v", prefix, got, want)
+		}
+		if depth == 0 {
+			return
+		}
+		for _, c := range alpha {
+			probe(prefix+string(rune(c)), depth-1)
+		}
+	}
+	probe("", 4)
+}
+
+func TestExpandK2ByComposition(t *testing.T) {
+	base := automaton.FromStrings([]string{"hello"})
+	alpha := []byte("helo")
+	exp2 := ExpandK(base, alpha, 2)
+	for _, tc := range []struct {
+		s    string
+		want bool
+	}{
+		{"hello", true},
+		{"hell", true}, // 1 deletion
+		{"hel", true},  // 2 deletions
+		{"heo", false}, // wait: hello -> helo (del l) -> heo (del l) = 2. Actually distance("hello","heo") = 2.
+		{"he", false},  // distance 3
+		{"hellooo", true} /* 2 insertions */, {"olleh", false},
+	} {
+		got := exp2.MatchString(tc.s)
+		want := Distance("hello", tc.s) <= 2
+		if got != want {
+			t.Errorf("ExpandK2 match %q = %v, oracle distance %d", tc.s, got, Distance("hello", tc.s))
+		}
+		_ = tc.want
+	}
+}
+
+func TestExpandK0IsIdentity(t *testing.T) {
+	base := automaton.FromStrings([]string{"xy", "yz"})
+	exp := ExpandK(base, []byte("xyz"), 0)
+	if !automaton.Equivalent(base.Minimize(), exp) {
+		t.Error("ExpandK(0) changed the language")
+	}
+}
+
+func TestQuickExpandSoundAndComplete(t *testing.T) {
+	// Property: for random base word and probe word over a small alphabet,
+	// membership in Expand == (min distance <= 1).
+	alpha := []byte("ab")
+	rng := rand.New(rand.NewSource(11))
+	word := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 40; trial++ {
+		base := word(1 + rng.Intn(4))
+		d := automaton.FromStrings([]string{base})
+		exp := Expand(d, alpha)
+		for probeTrial := 0; probeTrial < 30; probeTrial++ {
+			probe := word(rng.Intn(6))
+			got := exp.MatchString(probe)
+			want := Distance(base, probe) <= 1
+			if got != want {
+				t.Fatalf("base %q probe %q: expansion=%v oracle distance=%d",
+					base, probe, got, Distance(base, probe))
+			}
+		}
+	}
+}
+
+func TestQuickDistanceSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		sa, sb := clip(a, 8), clip(b, 8)
+		return Distance(sa, sb) == Distance(sb, sa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		sa, sb, sc := clip(a, 6), clip(b, 6), clip(c, 6)
+		return Distance(sa, sc) <= Distance(sa, sb)+Distance(sb, sc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clip(s string, n int) string {
+	out := make([]byte, 0, n)
+	for i := 0; i < len(s) && len(out) < n; i++ {
+		out = append(out, 'a'+s[i]%3)
+	}
+	return string(out)
+}
+
+func TestEditPositions(t *testing.T) {
+	base := automaton.FromStrings([]string{"hello"})
+	if got := EditPositions(base, "hello"); got != -1 {
+		t.Errorf("EditPositions of member = %d, want -1", got)
+	}
+	if got := EditPositions(base, "hxllo"); got != 1 {
+		t.Errorf("EditPositions(hxllo) = %d, want 1", got)
+	}
+	if got := EditPositions(base, "xello"); got != 0 {
+		t.Errorf("EditPositions(xello) = %d, want 0", got)
+	}
+	if got := EditPositions(base, "helloz"); got != 5 {
+		t.Errorf("EditPositions(helloz) = %d, want 5", got)
+	}
+}
+
+func TestPrintableASCII(t *testing.T) {
+	a := PrintableASCII()
+	if len(a) != 95 || a[0] != ' ' || a[len(a)-1] != '~' {
+		t.Errorf("PrintableASCII = %d bytes [%c..%c]", len(a), a[0], a[len(a)-1])
+	}
+}
+
+func TestAlphabetOf(t *testing.T) {
+	d := automaton.FromStrings([]string{"ba"})
+	got := AlphabetOf(d)
+	if len(got) != 2 || got[0] != 'a' || got[1] != 'b' {
+		t.Errorf("AlphabetOf = %v", got)
+	}
+}
+
+func TestSortedAlphabetUnion(t *testing.T) {
+	got := SortedAlphabetUnion([]byte("ba"), []byte("cb"))
+	if string(got) != "abc" {
+		t.Errorf("union = %q, want abc", got)
+	}
+}

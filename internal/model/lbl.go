@@ -1,0 +1,200 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tokenizer"
+)
+
+// LogBilinear is a small neural language model implemented from scratch: each
+// context position has a learned position-mixing matrix (here diagonal, for
+// tractability), context token embeddings are mixed into a prediction vector,
+// and the next token is scored by dot product with output embeddings plus a
+// bias. Trained with plain SGD on the cross-entropy loss. It exists to show
+// the engine is model-agnostic: everything downstream of NextLogProbs is
+// shared with the n-gram substrate.
+type LogBilinear struct {
+	vocab   int
+	eos     Token
+	seqLen  int
+	ctxLen  int
+	dim     int
+	embed   [][]float64 // vocab x dim input embeddings
+	out     [][]float64 // vocab x dim output embeddings
+	bias    []float64   // vocab
+	posMix  [][]float64 // ctxLen x dim diagonal position weights
+	scratch []float64
+}
+
+// LBLConfig configures the log-bilinear model.
+type LBLConfig struct {
+	// Dim is the embedding dimension (default 16).
+	Dim int
+	// CtxLen is how many trailing context tokens feed the prediction
+	// (default 3).
+	CtxLen int
+	// Epochs over the corpus (default 3).
+	Epochs int
+	// LR is the SGD learning rate (default 0.05).
+	LR float64
+	// MaxSeqLen reported to the engine (default 64).
+	MaxSeqLen int
+	// Seed makes initialization and shuffling deterministic.
+	Seed int64
+}
+
+// TrainLogBilinear fits the model on the canonical encodings of corpus.
+func TrainLogBilinear(corpus []string, tok tokenizer.Tokenizer, cfg LBLConfig) *LogBilinear {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 16
+	}
+	if cfg.CtxLen <= 0 {
+		cfg.CtxLen = 3
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 3
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	if cfg.MaxSeqLen <= 0 {
+		cfg.MaxSeqLen = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	m := &LogBilinear{
+		vocab:  tok.VocabSize(),
+		eos:    tok.EOS(),
+		seqLen: cfg.MaxSeqLen,
+		ctxLen: cfg.CtxLen,
+		dim:    cfg.Dim,
+	}
+	initMat := func(rows, cols int, scale float64) [][]float64 {
+		mat := make([][]float64, rows)
+		for i := range mat {
+			mat[i] = make([]float64, cols)
+			for j := range mat[i] {
+				mat[i][j] = (rng.Float64()*2 - 1) * scale
+			}
+		}
+		return mat
+	}
+	m.embed = initMat(m.vocab, m.dim, 0.1)
+	m.out = initMat(m.vocab, m.dim, 0.1)
+	m.bias = make([]float64, m.vocab)
+	m.posMix = initMat(m.ctxLen, m.dim, 0.5)
+	m.scratch = make([]float64, m.dim)
+
+	var seqs [][]Token
+	for _, line := range corpus {
+		seqs = append(seqs, append(tok.Encode(line), tok.EOS()))
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(seqs), func(i, j int) { seqs[i], seqs[j] = seqs[j], seqs[i] })
+		for _, seq := range seqs {
+			for i := range seq {
+				lo := i - m.ctxLen
+				if lo < 0 {
+					lo = 0
+				}
+				m.sgdStep(seq[lo:i], seq[i], cfg.LR)
+			}
+		}
+	}
+	return m
+}
+
+// predict computes the mixed context vector into dst.
+func (m *LogBilinear) predict(ctx []Token, dst []float64) {
+	for d := range dst {
+		dst[d] = 0
+	}
+	n := len(ctx)
+	if n > m.ctxLen {
+		ctx = ctx[n-m.ctxLen:]
+		n = m.ctxLen
+	}
+	for p, t := range ctx {
+		// Position index counts back from the prediction point.
+		pos := n - 1 - p
+		w := m.posMix[pos]
+		e := m.embed[t]
+		for d := 0; d < m.dim; d++ {
+			dst[d] += w[d] * e[d]
+		}
+	}
+}
+
+// scores computes the unnormalized logits for a context vector.
+func (m *LogBilinear) scores(vec []float64) []float64 {
+	logits := make([]float64, m.vocab)
+	for t := 0; t < m.vocab; t++ {
+		s := m.bias[t]
+		o := m.out[t]
+		for d := 0; d < m.dim; d++ {
+			s += o[d] * vec[d]
+		}
+		logits[t] = s
+	}
+	return logits
+}
+
+// sgdStep performs one cross-entropy gradient step on (ctx -> target).
+func (m *LogBilinear) sgdStep(ctx []Token, target Token, lr float64) {
+	vec := m.scratch
+	m.predict(ctx, vec)
+	logits := m.scores(vec)
+	Normalize(logits)
+	// dL/dlogit_t = p_t - 1{t == target}
+	gvec := make([]float64, m.dim)
+	for t := 0; t < m.vocab; t++ {
+		g := math.Exp(logits[t])
+		if t == target {
+			g -= 1
+		}
+		if g == 0 {
+			continue
+		}
+		o := m.out[t]
+		for d := 0; d < m.dim; d++ {
+			gvec[d] += g * o[d]
+			o[d] -= lr * g * vec[d]
+		}
+		m.bias[t] -= lr * g
+	}
+	// Back-prop into embeddings through the diagonal position mix.
+	n := len(ctx)
+	if n > m.ctxLen {
+		ctx = ctx[n-m.ctxLen:]
+		n = m.ctxLen
+	}
+	for p, t := range ctx {
+		pos := n - 1 - p
+		w := m.posMix[pos]
+		e := m.embed[t]
+		for d := 0; d < m.dim; d++ {
+			ge := gvec[d] * w[d]
+			gw := gvec[d] * e[d]
+			e[d] -= lr * ge
+			w[d] -= lr * gw
+		}
+	}
+}
+
+// VocabSize implements LanguageModel.
+func (m *LogBilinear) VocabSize() int { return m.vocab }
+
+// EOS implements LanguageModel.
+func (m *LogBilinear) EOS() Token { return m.eos }
+
+// MaxSeqLen implements LanguageModel.
+func (m *LogBilinear) MaxSeqLen() int { return m.seqLen }
+
+// NextLogProbs implements LanguageModel.
+func (m *LogBilinear) NextLogProbs(ctx []Token) []float64 {
+	vec := make([]float64, m.dim)
+	m.predict(ctx, vec)
+	logits := m.scores(vec)
+	Normalize(logits)
+	return logits
+}

@@ -1,0 +1,163 @@
+// Package model provides the autoregressive language-model substrate that
+// stands in for GPT-2 (see DESIGN.md, substitution table). ReLM consumes a
+// model only through NextLogProbs: a distribution over the next token given
+// a token context. Two trainable families are provided — an interpolated
+// back-off n-gram model (the primary substrate: fast, deterministic, and
+// memorizing, the property §4.1 probes) and a log-bilinear neural model
+// trained with SGD (a second architecture exercising the same interface).
+package model
+
+import (
+	"math"
+
+	"repro/internal/tokenizer"
+)
+
+// Token aliases the tokenizer's token ID type.
+type Token = tokenizer.Token
+
+// LanguageModel is the contract the ReLM engine executes against. All
+// probabilities are in natural-log space; a slice entry of math.Inf(-1)
+// means "this token cannot follow".
+type LanguageModel interface {
+	// VocabSize reports the size of the token alphabet, including EOS.
+	VocabSize() int
+	// EOS returns the end-of-sequence token ID.
+	EOS() Token
+	// MaxSeqLen returns the model's context window in tokens.
+	MaxSeqLen() int
+	// NextLogProbs returns a normalized log-probability for every token in
+	// the vocabulary, conditioned on ctx (oldest first). The returned slice
+	// is owned by the caller.
+	NextLogProbs(ctx []Token) []float64
+}
+
+// NegInf is the log-probability of an impossible event.
+var NegInf = math.Inf(-1)
+
+// LogSumExp computes log(Σ exp(x_i)) stably.
+func LogSumExp(xs []float64) float64 {
+	max := NegInf
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return NegInf
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if !math.IsInf(x, -1) {
+			sum += math.Exp(x - max)
+		}
+	}
+	return max + math.Log(sum)
+}
+
+// Normalize shifts log weights so they sum (in probability space) to 1.
+// All-impossible rows are left untouched.
+func Normalize(logits []float64) {
+	z := LogSumExp(logits)
+	if math.IsInf(z, -1) {
+		return
+	}
+	for i := range logits {
+		if !math.IsInf(logits[i], -1) {
+			logits[i] -= z
+		}
+	}
+}
+
+// SequenceLogProb scores a full token sequence under the model:
+// Σ_i log p(x_i | x_<i). Contexts are truncated to the model window.
+func SequenceLogProb(m LanguageModel, seq []Token) float64 {
+	total := 0.0
+	for i := range seq {
+		ctx := seq[:i]
+		if len(ctx) > m.MaxSeqLen() {
+			ctx = ctx[len(ctx)-m.MaxSeqLen():]
+		}
+		lp := m.NextLogProbs(ctx)
+		total += lp[seq[i]]
+		if math.IsInf(total, -1) {
+			return NegInf
+		}
+	}
+	return total
+}
+
+// Uniform is a maximally simple model: every token is equally likely at
+// every step. It exists for tests and as the degenerate baseline.
+type Uniform struct {
+	Vocab  int
+	EOSTok Token
+	SeqLen int
+}
+
+// VocabSize implements LanguageModel.
+func (u *Uniform) VocabSize() int { return u.Vocab }
+
+// EOS implements LanguageModel.
+func (u *Uniform) EOS() Token { return u.EOSTok }
+
+// MaxSeqLen implements LanguageModel.
+func (u *Uniform) MaxSeqLen() int { return u.SeqLen }
+
+// NextLogProbs implements LanguageModel.
+func (u *Uniform) NextLogProbs(ctx []Token) []float64 {
+	out := make([]float64, u.Vocab)
+	lp := -math.Log(float64(u.Vocab))
+	for i := range out {
+		out[i] = lp
+	}
+	return out
+}
+
+// Table is a hand-scripted model for tests: a map from context (encoded as a
+// string of token IDs) to explicit next-token distributions, with a uniform
+// fallback.
+type Table struct {
+	Vocab   int
+	EOSTok  Token
+	SeqLen  int
+	Dist    map[string][]float64 // context key -> log probs (len == Vocab)
+	KeyFunc func([]Token) string
+}
+
+// Key encodes a context for Table lookup.
+func Key(ctx []Token) string {
+	b := make([]byte, 0, len(ctx)*2)
+	for _, t := range ctx {
+		b = append(b, byte(t), byte(t>>8))
+	}
+	return string(b)
+}
+
+// VocabSize implements LanguageModel.
+func (t *Table) VocabSize() int { return t.Vocab }
+
+// EOS implements LanguageModel.
+func (t *Table) EOS() Token { return t.EOSTok }
+
+// MaxSeqLen implements LanguageModel.
+func (t *Table) MaxSeqLen() int { return t.SeqLen }
+
+// NextLogProbs implements LanguageModel.
+func (t *Table) NextLogProbs(ctx []Token) []float64 {
+	kf := t.KeyFunc
+	if kf == nil {
+		kf = Key
+	}
+	if d, ok := t.Dist[kf(ctx)]; ok {
+		out := make([]float64, len(d))
+		copy(out, d)
+		return out
+	}
+	out := make([]float64, t.Vocab)
+	lp := -math.Log(float64(t.Vocab))
+	for i := range out {
+		out[i] = lp
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/tokenizer"
+)
+
+// NGram is an interpolated back-off n-gram language model over tokens. It is
+// the primary GPT-2 stand-in: training sequences are memorized (high
+// conditional probability along trained continuations), unseen contexts back
+// off smoothly to shorter histories, and every token retains nonzero
+// probability via additive smoothing — so, as with a softmax LM, "most
+// strings will have non-zero probability" (§2.4).
+type NGram struct {
+	order  int // maximum history length + 1 (order 3 = trigram)
+	vocab  int
+	eos    Token
+	seqLen int
+	// counts[k] maps a history of length k (encoded) to next-token counts.
+	counts []map[string]*sparseCounts
+	// lambda weights interpolation between orders (higher = trust longer
+	// histories more when observed).
+	lambda float64
+	alpha  float64 // additive smoothing mass for the unigram floor
+	// cacheWeight mixes in a unigram cache over the current context (Kuhn &
+	// De Mori-style), giving the model the long-range copy/recall behaviour
+	// transformers exhibit — a token mentioned earlier in the context
+	// becomes likelier to recur. Zero disables.
+	cacheWeight float64
+}
+
+type sparseCounts struct {
+	total int
+	next  map[Token]int
+}
+
+// NGramConfig configures training.
+type NGramConfig struct {
+	// Order is the n-gram order (3 = trigram). Larger orders memorize more
+	// aggressively — the paper's GPT-2 XL analog uses a higher order than the
+	// GPT-2 small analog.
+	Order int
+	// MaxSeqLen is the context window reported to the engine.
+	MaxSeqLen int
+	// Lambda is the interpolation weight given to an observed higher-order
+	// estimate (default 0.85).
+	Lambda float64
+	// Alpha is the additive-smoothing pseudo-count spread over the
+	// vocabulary at the unigram level (default 0.5).
+	Alpha float64
+	// CacheWeight mixes a unigram cache over the live context into the
+	// prediction (0 disables; 0.1-0.3 is typical). This is the long-range
+	// recall component: without it a back-off n-gram cannot refer back
+	// further than its order.
+	CacheWeight float64
+}
+
+// TrainNGram fits an n-gram model to the canonical token encodings of the
+// corpus lines, appending EOS to each line.
+func TrainNGram(corpus []string, tok tokenizer.Tokenizer, cfg NGramConfig) *NGram {
+	if cfg.Order < 1 {
+		cfg.Order = 3
+	}
+	if cfg.MaxSeqLen <= 0 {
+		cfg.MaxSeqLen = 64
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 0.85
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	m := &NGram{
+		order:       cfg.Order,
+		vocab:       tok.VocabSize(),
+		eos:         tok.EOS(),
+		seqLen:      cfg.MaxSeqLen,
+		lambda:      cfg.Lambda,
+		alpha:       cfg.Alpha,
+		cacheWeight: cfg.CacheWeight,
+	}
+	m.counts = make([]map[string]*sparseCounts, cfg.Order)
+	for k := 0; k < cfg.Order; k++ {
+		m.counts[k] = map[string]*sparseCounts{}
+	}
+	for _, line := range corpus {
+		seq := append(tok.Encode(line), tok.EOS())
+		m.observe(seq)
+	}
+	return m
+}
+
+func (m *NGram) observe(seq []Token) {
+	for i := 0; i < len(seq); i++ {
+		for k := 0; k < m.order; k++ {
+			if i-k < 0 {
+				break
+			}
+			hist := Key(seq[i-k : i])
+			sc, ok := m.counts[k][hist]
+			if !ok {
+				sc = &sparseCounts{next: map[Token]int{}}
+				m.counts[k][hist] = sc
+			}
+			sc.next[seq[i]]++
+			sc.total++
+		}
+	}
+}
+
+// VocabSize implements LanguageModel.
+func (m *NGram) VocabSize() int { return m.vocab }
+
+// EOS implements LanguageModel.
+func (m *NGram) EOS() Token { return m.eos }
+
+// MaxSeqLen implements LanguageModel.
+func (m *NGram) MaxSeqLen() int { return m.seqLen }
+
+// NextLogProbs implements LanguageModel with Jelinek-Mercer-style
+// interpolation: starting from the smoothed unigram floor, each observed
+// longer history re-mixes the estimate with weight lambda.
+func (m *NGram) NextLogProbs(ctx []Token) []float64 {
+	probs := make([]float64, m.vocab)
+	// Unigram floor with additive smoothing.
+	uni := m.counts[0][""]
+	denom := m.alpha * float64(m.vocab)
+	if uni != nil {
+		denom += float64(uni.total)
+	}
+	base := m.alpha / denom
+	for i := range probs {
+		probs[i] = base
+	}
+	if uni != nil {
+		for t, c := range uni.next {
+			probs[t] += float64(c) / denom
+		}
+	}
+	// Mix in higher orders when their history was observed.
+	for k := 1; k < m.order; k++ {
+		if k > len(ctx) {
+			break
+		}
+		hist := Key(ctx[len(ctx)-k:])
+		sc, ok := m.counts[k][hist]
+		if !ok || sc.total == 0 {
+			continue
+		}
+		for i := range probs {
+			probs[i] *= (1 - m.lambda)
+		}
+		for t, c := range sc.next {
+			probs[t] += m.lambda * float64(c) / float64(sc.total)
+		}
+	}
+	// Context cache: boost tokens that already occurred in the window,
+	// IDF-weighted so the boost concentrates on *rare* tokens (entities,
+	// names) rather than function words — the long-range copy behaviour a
+	// transformer learns. p_cache(t) ∝ count_ctx(t) / (1 + count_train(t)).
+	if m.cacheWeight > 0 && len(ctx) > 0 {
+		uni := m.counts[0][""]
+		idf := func(t Token) float64 {
+			c := 0
+			if uni != nil {
+				c = uni.next[t]
+			}
+			// Squared so the boost concentrates sharply on the rarest
+			// context tokens (entities) over merely uncommon ones.
+			v := 1 / float64(1+c)
+			return v * v
+		}
+		cache := map[Token]float64{}
+		total := 0.0
+		for _, t := range ctx {
+			w := idf(t)
+			cache[t] += w
+			total += w
+		}
+		if total > 0 {
+			for i := range probs {
+				probs[i] *= (1 - m.cacheWeight)
+			}
+			for t, w := range cache {
+				probs[t] += m.cacheWeight * w / total
+			}
+		}
+	}
+	out := make([]float64, m.vocab)
+	for i, p := range probs {
+		out[i] = math.Log(p)
+	}
+	return out
+}
+
+// ObservedContexts reports how many distinct histories of each length were
+// seen in training; useful for sizing diagnostics.
+func (m *NGram) ObservedContexts() []int {
+	out := make([]int, m.order)
+	for k := 0; k < m.order; k++ {
+		out[k] = len(m.counts[k])
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// serializedNGram is the on-disk form of a trained n-gram model. Histories
+// are stored as token-ID slices (JSON-friendly, unlike the internal packed
+// string keys).
+type serializedNGram struct {
+	Format      string  `json:"format"`
+	Order       int     `json:"order"`
+	Vocab       int     `json:"vocab"`
+	EOS         Token   `json:"eos"`
+	MaxSeqLen   int     `json:"max_seq_len"`
+	Lambda      float64 `json:"lambda"`
+	Alpha       float64 `json:"alpha"`
+	CacheWeight float64 `json:"cache_weight"`
+	// Tables[k] lists the observed histories of length k with their
+	// next-token counts.
+	Tables [][]serializedHistory `json:"tables"`
+}
+
+type serializedHistory struct {
+	History []Token `json:"h"`
+	Next    []Token `json:"t"` // token IDs ...
+	Counts  []int   `json:"c"` // ... and their counts, parallel
+}
+
+// ngramFormat identifies the serialization schema.
+const ngramFormat = "relm-ngram-v1"
+
+// Save writes the model to w as JSON.
+func (m *NGram) Save(w io.Writer) error {
+	s := serializedNGram{
+		Format:      ngramFormat,
+		Order:       m.order,
+		Vocab:       m.vocab,
+		EOS:         m.eos,
+		MaxSeqLen:   m.seqLen,
+		Lambda:      m.lambda,
+		Alpha:       m.alpha,
+		CacheWeight: m.cacheWeight,
+		Tables:      make([][]serializedHistory, m.order),
+	}
+	for k := 0; k < m.order; k++ {
+		for hist, sc := range m.counts[k] {
+			sh := serializedHistory{History: decodeKey(hist)}
+			for t, c := range sc.next {
+				sh.Next = append(sh.Next, t)
+				sh.Counts = append(sh.Counts, c)
+			}
+			s.Tables[k] = append(s.Tables[k], sh)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(&s); err != nil {
+		return fmt.Errorf("model: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadNGram reconstructs a model from a Save stream.
+func LoadNGram(r io.Reader) (*NGram, error) {
+	var s serializedNGram
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
+	if s.Format != ngramFormat {
+		return nil, fmt.Errorf("model: load: unknown format %q", s.Format)
+	}
+	if s.Order < 1 || s.Vocab < 1 || len(s.Tables) != s.Order {
+		return nil, fmt.Errorf("model: load: malformed header (order=%d, vocab=%d, tables=%d)",
+			s.Order, s.Vocab, len(s.Tables))
+	}
+	m := &NGram{
+		order:       s.Order,
+		vocab:       s.Vocab,
+		eos:         s.EOS,
+		seqLen:      s.MaxSeqLen,
+		lambda:      s.Lambda,
+		alpha:       s.Alpha,
+		cacheWeight: s.CacheWeight,
+		counts:      make([]map[string]*sparseCounts, s.Order),
+	}
+	for k := 0; k < s.Order; k++ {
+		m.counts[k] = make(map[string]*sparseCounts, len(s.Tables[k]))
+		for _, sh := range s.Tables[k] {
+			if len(sh.History) != k {
+				return nil, fmt.Errorf("model: load: history of length %d in order-%d table", len(sh.History), k)
+			}
+			if len(sh.Next) != len(sh.Counts) {
+				return nil, fmt.Errorf("model: load: ragged counts for history %v", sh.History)
+			}
+			sc := &sparseCounts{next: make(map[Token]int, len(sh.Next))}
+			for i, t := range sh.Next {
+				if t < 0 || t >= s.Vocab {
+					return nil, fmt.Errorf("model: load: token %d out of vocabulary", t)
+				}
+				if sh.Counts[i] <= 0 {
+					return nil, fmt.Errorf("model: load: non-positive count for token %d", t)
+				}
+				sc.next[t] = sh.Counts[i]
+				sc.total += sh.Counts[i]
+			}
+			m.counts[k][Key(sh.History)] = sc
+		}
+	}
+	return m, nil
+}
+
+// decodeKey inverts Key's packed encoding.
+func decodeKey(s string) []Token {
+	out := make([]Token, 0, len(s)/2)
+	for i := 0; i+1 < len(s); i += 2 {
+		out = append(out, int(s[i])|int(s[i+1])<<8)
+	}
+	return out
+}

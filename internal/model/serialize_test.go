@@ -1,0 +1,75 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNGramSaveLoadRoundTrip(t *testing.T) {
+	tok := testTok(t)
+	orig := TrainNGram([]string{
+		"the cat sat on the mat",
+		"the dog sat on the mat",
+	}, tok, NGramConfig{Order: 4, MaxSeqLen: 32, Lambda: 0.8, Alpha: 0.3, CacheWeight: 0.2})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNGram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != orig.VocabSize() || loaded.EOS() != orig.EOS() ||
+		loaded.MaxSeqLen() != orig.MaxSeqLen() {
+		t.Fatal("metadata changed across reload")
+	}
+	// Distributions must match exactly on several contexts.
+	ctxs := [][]Token{
+		nil,
+		tok.Encode("the cat"),
+		tok.Encode("the dog sat"),
+		{1, 2, 3},
+	}
+	for _, ctx := range ctxs {
+		a, b := orig.NextLogProbs(ctx), loaded.NextLogProbs(ctx)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("log prob differs after reload at ctx %v token %d: %f vs %f", ctx, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadNGramRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"{}",
+		`{"format":"wrong"}`,
+		`{"format":"relm-ngram-v1","order":0,"vocab":5,"tables":[]}`,
+		`{"format":"relm-ngram-v1","order":1,"vocab":5,"tables":[[{"h":[],"t":[99],"c":[1]}]]}`,
+		`{"format":"relm-ngram-v1","order":1,"vocab":5,"tables":[[{"h":[],"t":[1],"c":[0]}]]}`,
+		`{"format":"relm-ngram-v1","order":1,"vocab":5,"tables":[[{"h":[1],"t":[1],"c":[1]}]]}`,
+		`{"format":"relm-ngram-v1","order":1,"vocab":5,"tables":[[{"h":[],"t":[1,2],"c":[1]}]]}`,
+	} {
+		if _, err := LoadNGram(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadNGram(%q) should fail", in)
+		}
+	}
+}
+
+func TestKeyDecodeKeyRoundTrip(t *testing.T) {
+	for _, toks := range [][]Token{nil, {0}, {1, 2, 3}, {255, 256, 1024}} {
+		got := decodeKey(Key(toks))
+		if len(got) != len(toks) {
+			t.Fatalf("round trip %v -> %v", toks, got)
+		}
+		for i := range toks {
+			if got[i] != toks[i] {
+				t.Fatalf("round trip %v -> %v", toks, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// serializedTransformer is the JSON artifact layout for a trained
+// Transformer. Adam moments are deliberately dropped: a loaded model serves
+// inference; resuming training restarts the optimizer.
+type serializedTransformer struct {
+	Version int               `json:"version"`
+	Config  TransformerConfig `json:"config"`
+	Vocab   int               `json:"vocab"`
+	EOS     Token             `json:"eos"`
+	Params  [][][]float64     `json:"params"` // registry order
+}
+
+const transformerVersion = 1
+
+// Save writes the model parameters as JSON.
+func (t *Transformer) Save(w io.Writer) error {
+	s := serializedTransformer{
+		Version: transformerVersion,
+		Config:  t.cfg,
+		Vocab:   t.vocab,
+		EOS:     t.eosTok,
+	}
+	for _, p := range t.params {
+		s.Params = append(s.Params, p.val)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&s)
+}
+
+// LoadTransformer reads a model saved by Save. The parameter registry order
+// is a function of the config, so shapes are validated entry by entry.
+func LoadTransformer(r io.Reader) (*Transformer, error) {
+	var s serializedTransformer
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decode transformer: %w", err)
+	}
+	if s.Version != transformerVersion {
+		return nil, fmt.Errorf("model: transformer artifact version %d, want %d", s.Version, transformerVersion)
+	}
+	if s.Vocab <= 0 {
+		return nil, fmt.Errorf("model: invalid vocab %d", s.Vocab)
+	}
+	t := NewTransformer(s.Vocab, s.EOS, s.Config)
+	if len(s.Params) != len(t.params) {
+		return nil, fmt.Errorf("model: artifact has %d parameter tensors, config requires %d", len(s.Params), len(t.params))
+	}
+	for i, saved := range s.Params {
+		dst := t.params[i].val
+		if len(saved) != len(dst) {
+			return nil, fmt.Errorf("model: tensor %d has %d rows, want %d", i, len(saved), len(dst))
+		}
+		for r, row := range saved {
+			if len(row) != len(dst[r]) {
+				return nil, fmt.Errorf("model: tensor %d row %d has %d cols, want %d", i, r, len(row), len(dst[r]))
+			}
+			copy(dst[r], row)
+		}
+	}
+	return t, nil
+}

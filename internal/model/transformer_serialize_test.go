@@ -1,0 +1,62 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTransformerSaveLoadRoundTrip(t *testing.T) {
+	orig := tinyTransformer(17)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTransformer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != orig.VocabSize() || loaded.EOS() != orig.EOS() || loaded.MaxSeqLen() != orig.MaxSeqLen() {
+		t.Fatal("identity fields differ after round trip")
+	}
+	ctxs := [][]Token{{}, {1}, {3, 1, 4, 1, 5}}
+	for _, ctx := range ctxs {
+		a := orig.NextLogProbs(ctx)
+		b := loaded.NextLogProbs(ctx)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("ctx %v token %d: %g vs %g", ctx, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadTransformerRejectsGarbage(t *testing.T) {
+	if _, err := LoadTransformer(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadTransformer(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadTransformer(strings.NewReader(`{"version":1,"vocab":0}`)); err == nil {
+		t.Error("zero vocab accepted")
+	}
+	if _, err := LoadTransformer(strings.NewReader(`{"version":1,"vocab":5,"eos":4,"config":{"DModel":8},"params":[]}`)); err == nil {
+		t.Error("missing tensors accepted")
+	}
+}
+
+func TestLoadTransformerRejectsShapeMismatch(t *testing.T) {
+	orig := tinyTransformer(9)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: claim a different vocab so tensor 0's rows mismatch.
+	s := buf.String()
+	s = strings.Replace(s, `"vocab":9`, `"vocab":12`, 1)
+	if _, err := LoadTransformer(strings.NewReader(s)); err == nil {
+		t.Error("row mismatch accepted")
+	}
+}

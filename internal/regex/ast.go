@@ -1,0 +1,178 @@
+// Package regex implements the regular-expression frontend of ReLM: a parser
+// for the paper's query syntax and a compiler from the parsed AST to a byte
+// -alphabet NFA/DFA (the "Natural Language Automaton" of §3.1).
+//
+// Supported syntax (Appendix A plus the constructs used by the paper's
+// queries): literals, escapes (\. \? \\ \d \w \s ...), character classes
+// [a-zA-Z0-9_] and negations [^...], the wildcard '.', grouping (r),
+// disjunction r1|r2, concatenation, and the quantifiers r*, r+, r?, r{m},
+// r{m,}, r{m,n}.
+package regex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a parsed regular-expression AST node.
+type Node interface {
+	// String renders the node back to (canonical) regex syntax.
+	String() string
+}
+
+// Literal matches a single exact byte.
+type Literal struct{ Byte byte }
+
+// Class matches any byte in Set.
+type Class struct {
+	Set     [256]bool
+	Negated bool // retained for printing only; Set is already resolved
+	label   string
+}
+
+// Concat matches Parts in sequence.
+type Concat struct{ Parts []Node }
+
+// Alternate matches any one of Options.
+type Alternate struct{ Options []Node }
+
+// Repeat matches Min..Max copies of Inner; Max = -1 means unbounded.
+type Repeat struct {
+	Inner Node
+	Min   int
+	Max   int
+}
+
+// Empty matches the empty string.
+type Empty struct{}
+
+func (l *Literal) String() string {
+	return escapeByte(l.Byte)
+}
+
+func (c *Class) String() string {
+	if c.label != "" {
+		return c.label
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	if c.Negated {
+		b.WriteByte('^')
+	}
+	// Render resolved set as ranges.
+	inv := c.Set
+	if c.Negated {
+		for i := range inv {
+			inv[i] = !inv[i]
+		}
+	}
+	for i := 0; i < 256; {
+		if !inv[i] {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < 256 && inv[j+1] {
+			j++
+		}
+		if j > i+1 {
+			fmt.Fprintf(&b, "%s-%s", escapeClassByte(byte(i)), escapeClassByte(byte(j)))
+		} else {
+			b.WriteString(escapeClassByte(byte(i)))
+			if j == i+1 {
+				b.WriteString(escapeClassByte(byte(j)))
+			}
+		}
+		i = j + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func (c *Concat) String() string {
+	var b strings.Builder
+	for _, p := range c.Parts {
+		if _, ok := p.(*Alternate); ok {
+			fmt.Fprintf(&b, "(%s)", p)
+		} else {
+			b.WriteString(p.String())
+		}
+	}
+	return b.String()
+}
+
+func (a *Alternate) String() string {
+	parts := make([]string, len(a.Options))
+	for i, o := range a.Options {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func (r *Repeat) String() string {
+	inner := r.Inner.String()
+	switch {
+	case needsGroup(r.Inner):
+		inner = "(" + inner + ")"
+	}
+	switch {
+	case r.Min == 0 && r.Max == -1:
+		return inner + "*"
+	case r.Min == 1 && r.Max == -1:
+		return inner + "+"
+	case r.Min == 0 && r.Max == 1:
+		return inner + "?"
+	case r.Max == -1:
+		return fmt.Sprintf("%s{%d,}", inner, r.Min)
+	case r.Min == r.Max:
+		return fmt.Sprintf("%s{%d}", inner, r.Min)
+	default:
+		return fmt.Sprintf("%s{%d,%d}", inner, r.Min, r.Max)
+	}
+}
+
+func (*Empty) String() string { return "" }
+
+func needsGroup(n Node) bool {
+	switch t := n.(type) {
+	case *Literal, *Class, *Empty:
+		return false
+	case *Concat:
+		return len(t.Parts) > 1
+	default:
+		return true
+	}
+}
+
+func escapeByte(b byte) string {
+	switch b {
+	case '.', '|', '(', ')', '[', ']', '{', '}', '*', '+', '?', '\\', '^', '$':
+		return "\\" + string(rune(b))
+	}
+	if b >= 32 && b < 127 {
+		return string(rune(b))
+	}
+	return fmt.Sprintf("\\x%02x", b)
+}
+
+func escapeClassByte(b byte) string {
+	switch b {
+	case ']', '\\', '^', '-':
+		return "\\" + string(rune(b))
+	}
+	if b >= 32 && b < 127 {
+		return string(rune(b))
+	}
+	return fmt.Sprintf("\\x%02x", b)
+}
+
+// classOf builds a Class from a membership predicate with a display label.
+func classOf(label string, pred func(byte) bool) *Class {
+	c := &Class{label: label}
+	for i := 0; i < 256; i++ {
+		if pred(byte(i)) {
+			c.Set[i] = true
+		}
+	}
+	return c
+}

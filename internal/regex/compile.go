@@ -1,0 +1,149 @@
+package regex
+
+import "repro/internal/automaton"
+
+// Compile parses a pattern and compiles it to a minimal byte-alphabet DFA —
+// the paper's Natural Language Automaton.
+func Compile(pattern string) (*automaton.DFA, error) {
+	ast, err := Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAST(ast), nil
+}
+
+// MustCompile compiles a pattern, panicking on error.
+func MustCompile(pattern string) *automaton.DFA {
+	d, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// CompileAST lowers an AST to a minimal DFA via Thompson construction and
+// subset determinization.
+func CompileAST(n Node) *automaton.DFA {
+	nfa := automaton.NewNFA()
+	start, end := build(nfa, n)
+	nfa.SetStart(start)
+	nfa.SetAccepting(end, true)
+	return nfa.Determinize().Minimize()
+}
+
+// build adds the Thompson fragment for node n to nfa and returns its entry
+// and exit states. The fragment has exactly one entry and one exit, joined to
+// the rest of the machine with epsilon edges.
+func build(nfa *automaton.NFA, n Node) (start, end automaton.StateID) {
+	switch t := n.(type) {
+	case *Empty:
+		s := nfa.AddState(false)
+		return s, s
+	case *Literal:
+		s := nfa.AddState(false)
+		e := nfa.AddState(false)
+		nfa.AddEdge(s, int(t.Byte), e)
+		return s, e
+	case *Class:
+		s := nfa.AddState(false)
+		e := nfa.AddState(false)
+		for b := 0; b < 256; b++ {
+			if t.Set[b] {
+				nfa.AddEdge(s, b, e)
+			}
+		}
+		return s, e
+	case *Concat:
+		if len(t.Parts) == 0 {
+			s := nfa.AddState(false)
+			return s, s
+		}
+		start, end = build(nfa, t.Parts[0])
+		for _, part := range t.Parts[1:] {
+			ps, pe := build(nfa, part)
+			nfa.AddEdge(end, automaton.Epsilon, ps)
+			end = pe
+		}
+		return start, end
+	case *Alternate:
+		s := nfa.AddState(false)
+		e := nfa.AddState(false)
+		for _, opt := range t.Options {
+			os, oe := build(nfa, opt)
+			nfa.AddEdge(s, automaton.Epsilon, os)
+			nfa.AddEdge(oe, automaton.Epsilon, e)
+		}
+		return s, e
+	case *Repeat:
+		return buildRepeat(nfa, t)
+	default:
+		panic("regex: unknown AST node")
+	}
+}
+
+// buildRepeat expands counted repetition into chained copies: r{m,n} becomes
+// m mandatory copies followed by (n-m) optional ones; r{m,} ends with a
+// Kleene-star tail.
+func buildRepeat(nfa *automaton.NFA, r *Repeat) (start, end automaton.StateID) {
+	star := func() (automaton.StateID, automaton.StateID) {
+		s := nfa.AddState(false)
+		e := nfa.AddState(false)
+		is, ie := build(nfa, r.Inner)
+		nfa.AddEdge(s, automaton.Epsilon, is)
+		nfa.AddEdge(ie, automaton.Epsilon, e)
+		nfa.AddEdge(s, automaton.Epsilon, e)
+		nfa.AddEdge(ie, automaton.Epsilon, is)
+		return s, e
+	}
+	cur := nfa.AddState(false)
+	start = cur
+	for i := 0; i < r.Min; i++ {
+		is, ie := build(nfa, r.Inner)
+		nfa.AddEdge(cur, automaton.Epsilon, is)
+		cur = ie
+	}
+	if r.Max == -1 {
+		ss, se := star()
+		nfa.AddEdge(cur, automaton.Epsilon, ss)
+		return start, se
+	}
+	// Optional copies, each skippable to the final end state.
+	final := nfa.AddState(false)
+	nfa.AddEdge(cur, automaton.Epsilon, final)
+	for i := r.Min; i < r.Max; i++ {
+		is, ie := build(nfa, r.Inner)
+		nfa.AddEdge(cur, automaton.Epsilon, is)
+		nfa.AddEdge(ie, automaton.Epsilon, final)
+		cur = ie
+	}
+	return start, final
+}
+
+// Escape returns the pattern that matches s literally.
+func Escape(s string) string {
+	out := make([]byte, 0, len(s)*2)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '.', '|', '(', ')', '[', ']', '{', '}', '*', '+', '?', '\\', '^', '$':
+			out = append(out, '\\', s[i])
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// Disjunction returns the pattern (a)|(b)|(c) for the given literal strings,
+// each escaped — the "multiple choice" encoding of §2.4.
+func Disjunction(options []string) string {
+	out := make([]byte, 0, 16*len(options))
+	for i, o := range options {
+		if i > 0 {
+			out = append(out, '|')
+		}
+		out = append(out, '(')
+		out = append(out, Escape(o)...)
+		out = append(out, ')')
+	}
+	return string(out)
+}

@@ -1,0 +1,74 @@
+package regex
+
+import (
+	"testing"
+)
+
+// FuzzCompile checks the parser never panics and that a successfully
+// compiled pattern produces a usable automaton (matching doesn't crash and
+// the start state exists).
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"a",
+		"(a)|(b)",
+		"[a-z0-9]+",
+		"a{2,5}",
+		"(ab)*c?",
+		`\.\?\\`,
+		"[^a-f]",
+		"((x)|(yz)){1,3}",
+		"a**",
+		"[z-a]",
+		"a{5,2}",
+		"(",
+		")",
+		"[",
+		"a|",
+		"{3}",
+		"\\",
+		"https://www.([a-zA-Z0-9]|_|-|#|%)+",
+		"日本語", // multibyte input must not crash the byte-level parser
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		d, err := Compile(pattern)
+		if err != nil {
+			return // rejected patterns just need a clean error
+		}
+		if d == nil {
+			t.Fatal("nil DFA with nil error")
+		}
+		// The automaton must be usable.
+		_ = d.MatchString("probe")
+		_ = d.MatchString(pattern)
+		_ = d.NumStates()
+	})
+}
+
+// FuzzEscapeRoundTrip checks Escape always produces a pattern matching
+// exactly the original literal.
+func FuzzEscapeRoundTrip(f *testing.F) {
+	for _, s := range []string{"", "a.b", "1+1=2?", "(){}[]|*+?\\^$-", "plain"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, lit string) {
+		for _, r := range lit {
+			if r > 126 || r < 32 {
+				return // byte-level engine; printable ASCII literals only
+			}
+		}
+		d, err := Compile(Escape(lit))
+		if err != nil {
+			t.Fatalf("Escape(%q) produced uncompilable pattern: %v", lit, err)
+		}
+		if !d.MatchString(lit) {
+			t.Fatalf("escaped pattern rejects its own literal %q", lit)
+		}
+		if lit != "" && d.MatchString(lit+"x") {
+			t.Fatalf("escaped pattern over-matches %q", lit)
+		}
+	})
+}

@@ -1,0 +1,386 @@
+package regex
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError reports a syntax error with its byte offset in the pattern.
+type ParseError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("regex: %s at position %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+// Parse parses a regular-expression pattern into an AST.
+func Parse(pattern string) (Node, error) {
+	p := &parser{src: pattern}
+	n, err := p.parseAlternate()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected %q", p.src[p.pos])
+	}
+	return n, nil
+}
+
+// MustParse parses a pattern, panicking on error. For tests and fixed
+// internal queries only.
+func MustParse(pattern string) Node {
+	n, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pattern: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos < len(p.src) {
+		return p.src[p.pos], true
+	}
+	return 0, false
+}
+
+// parseAlternate := parseConcat ('|' parseConcat)*
+func (p *parser) parseAlternate() (Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	options := []Node{first}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		options = append(options, next)
+	}
+	if len(options) == 1 {
+		return options[0], nil
+	}
+	return &Alternate{Options: options}, nil
+}
+
+// parseConcat := parseRepeat*
+func (p *parser) parseConcat() (Node, error) {
+	var parts []Node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		n, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	switch len(parts) {
+	case 0:
+		return &Empty{}, nil
+	case 1:
+		return parts[0], nil
+	}
+	return &Concat{Parts: parts}, nil
+}
+
+// parseRepeat := parseAtom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
+func (p *parser) parseRepeat() (Node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			atom = &Repeat{Inner: atom, Min: 0, Max: -1}
+		case '+':
+			p.pos++
+			atom = &Repeat{Inner: atom, Min: 1, Max: -1}
+		case '?':
+			p.pos++
+			atom = &Repeat{Inner: atom, Min: 0, Max: 1}
+		case '{':
+			rep, err := p.parseBrace(atom)
+			if err != nil {
+				return nil, err
+			}
+			atom = rep
+		default:
+			return atom, nil
+		}
+	}
+}
+
+// parseBrace parses {m}, {m,}, or {m,n} after its opening brace.
+func (p *parser) parseBrace(inner Node) (Node, error) {
+	start := p.pos
+	p.pos++ // consume '{'
+	m, ok := p.parseInt()
+	if !ok {
+		p.pos = start
+		return nil, p.errf("malformed repetition count")
+	}
+	c, chOK := p.peek()
+	switch {
+	case chOK && c == '}':
+		p.pos++
+		return &Repeat{Inner: inner, Min: m, Max: m}, nil
+	case chOK && c == ',':
+		p.pos++
+		if c2, ok2 := p.peek(); ok2 && c2 == '}' {
+			p.pos++
+			return &Repeat{Inner: inner, Min: m, Max: -1}, nil
+		}
+		n, ok := p.parseInt()
+		if !ok {
+			return nil, p.errf("malformed repetition upper bound")
+		}
+		if c2, ok2 := p.peek(); !ok2 || c2 != '}' {
+			return nil, p.errf("unterminated repetition")
+		}
+		p.pos++
+		if n < m {
+			return nil, p.errf("repetition bounds out of order {%d,%d}", m, n)
+		}
+		return &Repeat{Inner: inner, Min: m, Max: n}, nil
+	default:
+		return nil, p.errf("unterminated repetition")
+	}
+}
+
+func (p *parser) parseInt() (int, bool) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, false
+	}
+	v, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseAtom := '(' parseAlternate ')' | '[' class ']' | '.' | escape | literal
+func (p *parser) parseAtom() (Node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		inner, err := p.parseAlternate()
+		if err != nil {
+			return nil, err
+		}
+		if c2, ok2 := p.peek(); !ok2 || c2 != ')' {
+			return nil, p.errf("unclosed group")
+		}
+		p.pos++
+		return inner, nil
+	case ')':
+		return nil, p.errf("unmatched ')'")
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return classOf(".", func(b byte) bool { return b != '\n' }), nil
+	case '\\':
+		return p.parseEscape(false)
+	case '*', '+', '?':
+		return nil, p.errf("quantifier %q with nothing to repeat", c)
+	case '{':
+		// Treat a '{' that does not begin a valid counted repetition as a
+		// literal brace (the paper's queries use {3} style only after atoms;
+		// a leading '{' is literal).
+		p.pos++
+		return &Literal{Byte: '{'}, nil
+	default:
+		p.pos++
+		return &Literal{Byte: c}, nil
+	}
+}
+
+// parseEscape handles \x escapes. inClass affects which metacharacters are
+// meaningful but the accepted set is a superset in both contexts.
+func (p *parser) parseEscape(inClass bool) (Node, error) {
+	p.pos++ // consume '\'
+	c, ok := p.peek()
+	if !ok {
+		return nil, p.errf("trailing backslash")
+	}
+	p.pos++
+	switch c {
+	case 'n':
+		return &Literal{Byte: '\n'}, nil
+	case 't':
+		return &Literal{Byte: '\t'}, nil
+	case 'r':
+		return &Literal{Byte: '\r'}, nil
+	case 'd':
+		return classOf("\\d", func(b byte) bool { return b >= '0' && b <= '9' }), nil
+	case 'D':
+		return classOf("\\D", func(b byte) bool { return !(b >= '0' && b <= '9') && b != '\n' }), nil
+	case 'w':
+		return classOf("\\w", isWordByte), nil
+	case 'W':
+		return classOf("\\W", func(b byte) bool { return !isWordByte(b) && b != '\n' }), nil
+	case 's':
+		return classOf("\\s", isSpaceByte), nil
+	case 'S':
+		return classOf("\\S", func(b byte) bool { return !isSpaceByte(b) && b != '\n' }), nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return nil, p.errf("truncated \\x escape")
+		}
+		v, err := strconv.ParseUint(p.src[p.pos:p.pos+2], 16, 8)
+		if err != nil {
+			return nil, p.errf("bad \\x escape")
+		}
+		p.pos += 2
+		return &Literal{Byte: byte(v)}, nil
+	default:
+		// Escaped metacharacter or punctuation: literal.
+		return &Literal{Byte: c}, nil
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
+}
+
+// parseClass parses a [...] character class; the leading '[' is current.
+func (p *parser) parseClass() (Node, error) {
+	p.pos++ // consume '['
+	neg := false
+	if c, ok := p.peek(); ok && c == '^' {
+		neg = true
+		p.pos++
+	}
+	var members [256]bool
+	empty := true
+	addByte := func(b byte) {
+		members[b] = true
+		empty = false
+	}
+	addRange := func(lo, hi byte) {
+		for b := int(lo); b <= int(hi); b++ {
+			members[b] = true
+		}
+		empty = false
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unclosed character class")
+		}
+		if c == ']' && !empty {
+			p.pos++
+			break
+		}
+		if c == ']' && empty {
+			// A ']' first in the class is a literal member (POSIX rule).
+			addByte(']')
+			p.pos++
+			continue
+		}
+		var lo byte
+		if c == '\\' {
+			n, err := p.parseEscape(true)
+			if err != nil {
+				return nil, err
+			}
+			switch t := n.(type) {
+			case *Literal:
+				lo = t.Byte
+			case *Class:
+				// Predefined class inside a class: union its members.
+				for i := 0; i < 256; i++ {
+					if t.Set[i] {
+						members[i] = true
+					}
+				}
+				empty = false
+				continue
+			}
+		} else {
+			lo = c
+			p.pos++
+		}
+		// Possible range lo-hi.
+		if c2, ok2 := p.peek(); ok2 && c2 == '-' {
+			if c3 := p.lookahead(1); c3 != 0 && c3 != ']' {
+				p.pos++ // consume '-'
+				var hi byte
+				if c4, _ := p.peek(); c4 == '\\' {
+					n, err := p.parseEscape(true)
+					if err != nil {
+						return nil, err
+					}
+					lit, ok := n.(*Literal)
+					if !ok {
+						return nil, p.errf("class shorthand cannot end a range")
+					}
+					hi = lit.Byte
+				} else {
+					hi = c4
+					p.pos++
+				}
+				if hi < lo {
+					return nil, p.errf("class range out of order %c-%c", lo, hi)
+				}
+				addRange(lo, hi)
+				continue
+			}
+		}
+		addByte(lo)
+	}
+	cl := &Class{Negated: neg}
+	if neg {
+		for i := 0; i < 256; i++ {
+			cl.Set[i] = !members[i] && byte(i) != '\n'
+		}
+	} else {
+		cl.Set = members
+	}
+	return cl, nil
+}
+
+func (p *parser) lookahead(k int) byte {
+	if p.pos+k < len(p.src) {
+		return p.src[p.pos+k]
+	}
+	return 0
+}

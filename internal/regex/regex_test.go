@@ -1,0 +1,245 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automaton"
+)
+
+func mustMatch(t *testing.T, pattern string, yes []string, no []string) {
+	t.Helper()
+	d, err := Compile(pattern)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	for _, s := range yes {
+		if !d.MatchString(s) {
+			t.Errorf("pattern %q should match %q", pattern, s)
+		}
+	}
+	for _, s := range no {
+		if d.MatchString(s) {
+			t.Errorf("pattern %q should not match %q", pattern, s)
+		}
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	mustMatch(t, "The", []string{"The"}, []string{"the", "Th", "Thee", ""})
+}
+
+func TestDisjunctionPaperQuery(t *testing.T) {
+	// Figure 2's query.
+	mustMatch(t, "The ((cat)|(dog))",
+		[]string{"The cat", "The dog"},
+		[]string{"The cow", "The catdog", "The ", "cat"})
+}
+
+func TestClassesAndRepeat(t *testing.T) {
+	mustMatch(t, "[a-z]+",
+		[]string{"a", "hello"},
+		[]string{"", "A", "ab1"})
+	mustMatch(t, "[0-9]{3}",
+		[]string{"123", "000"},
+		[]string{"12", "1234", "abc"})
+	mustMatch(t, "[0-9]{2,3}",
+		[]string{"12", "123"},
+		[]string{"1", "1234"})
+	mustMatch(t, "a{2,}",
+		[]string{"aa", "aaa", "aaaa"},
+		[]string{"a", ""})
+}
+
+func TestPhoneNumberQuery(t *testing.T) {
+	// Figure 4's query.
+	mustMatch(t, "My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+		[]string{"My phone number is 555 555 5555"},
+		[]string{"My phone number is 555 555 555", "My phone number is 5555555555"})
+}
+
+func TestURLQueryFromPaper(t *testing.T) {
+	// §4.1's memorization query (with _ spelled explicitly).
+	pattern := `https://www\.([a-zA-Z0-9]|_|-|#|%)+\.([a-zA-Z0-9]|_|-|#|%|/)+`
+	mustMatch(t, pattern,
+		[]string{"https://www.example.com", "https://www.npr.org/sections/news", "https://www.a-b.c/d#e"},
+		[]string{"http://www.example.com", "https://www.", "https://www.x."})
+}
+
+func TestBirthDateQuery(t *testing.T) {
+	// Figure 11's query.
+	pattern := "George Washington was born on ((January)|(February)|(March)|(April)|" +
+		"(May)|(June)|(July)|(August)|(September)|(October)|(November)|(December)) " +
+		"[0-9]{1,2}, [0-9]{4}"
+	mustMatch(t, pattern,
+		[]string{"George Washington was born on July 4, 1732", "George Washington was born on February 22, 1732"},
+		[]string{"George Washington was born on Smarch 1, 1732", "George Washington was born on July , 1732"})
+}
+
+func TestOptional(t *testing.T) {
+	mustMatch(t, "colou?r",
+		[]string{"color", "colour"},
+		[]string{"colouur"})
+}
+
+func TestDotWildcard(t *testing.T) {
+	mustMatch(t, "a.c",
+		[]string{"abc", "a c", "a.c"},
+		[]string{"ac", "a\nc", "abbc"})
+}
+
+func TestEscapes(t *testing.T) {
+	mustMatch(t, `\.`, []string{"."}, []string{"a"})
+	mustMatch(t, `\?`, []string{"?"}, []string{""})
+	mustMatch(t, `\d+`, []string{"42"}, []string{"a"})
+	mustMatch(t, `\w+`, []string{"abc_123"}, []string{"a b"})
+	mustMatch(t, `\s`, []string{" ", "\t"}, []string{"x"})
+	mustMatch(t, `\\`, []string{`\`}, []string{``})
+	mustMatch(t, `\x41`, []string{"A"}, []string{"B"})
+}
+
+func TestNegatedClass(t *testing.T) {
+	mustMatch(t, "[^abc]", []string{"d", "z", "1"}, []string{"a", "b", "c", ""})
+}
+
+func TestClassWithShorthand(t *testing.T) {
+	mustMatch(t, `[\d_]+`, []string{"12_3"}, []string{"a"})
+}
+
+func TestEmptyAlternative(t *testing.T) {
+	mustMatch(t, "a(b|)c", []string{"abc", "ac"}, []string{"abbc"})
+}
+
+func TestNestedGroups(t *testing.T) {
+	mustMatch(t, "((a|b)(c|d)){2}",
+		[]string{"acbd", "adad"},
+		[]string{"ac", "acbdbd"})
+}
+
+func TestLambadaQueries(t *testing.T) {
+	// §4.4's query shapes.
+	mustMatch(t, `([a-zA-Z]+)(\.|!|\?)?(")?`,
+		[]string{"word", "word.", "word!", `word?"`, `word"`},
+		[]string{"two words", "word?!"})
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, pattern := range []string{
+		"(", ")", "(a", "a)", "[", "[a", "a{2,1}", "*", "+a"[:1] + "+", "?x"[:1] + "?",
+		`\`, `\x4`, `\xgg`, "[z-a]",
+	} {
+		if _, err := Parse(pattern); err == nil {
+			t.Errorf("Parse(%q) should fail", pattern)
+		}
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse("ab(cd")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T, want *ParseError", err)
+	}
+	if pe.Pattern != "ab(cd" {
+		t.Errorf("error should carry the pattern, got %q", pe.Pattern)
+	}
+	if !strings.Contains(pe.Error(), "position") {
+		t.Errorf("error message should mention position: %s", pe.Error())
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	// AST.String() must re-parse to the same language.
+	for _, pattern := range []string{
+		"The ((cat)|(dog))",
+		"[a-z]{2,5}",
+		"a+b*c?",
+		`x(\.|!)?`,
+		"[^ab]+",
+	} {
+		ast := MustParse(pattern)
+		d1 := CompileAST(ast)
+		d2, err := Compile(ast.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", ast.String(), pattern, err)
+		}
+		if !automaton.Equivalent(d1, d2) {
+			t.Errorf("round-trip of %q changed the language (printed %q)", pattern, ast.String())
+		}
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		clean := sanitizeASCII(s, 12)
+		d, err := Compile(Escape(clean))
+		if err != nil {
+			return false
+		}
+		return d.MatchString(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjunctionHelper(t *testing.T) {
+	pat := Disjunction([]string{"cat", "dog", "a.b"})
+	mustMatch(t, pat, []string{"cat", "dog", "a.b"}, []string{"axb", "catdog"})
+}
+
+func TestEnumerationOfFiniteQuery(t *testing.T) {
+	d := MustCompile("((ab)|(cd))e?")
+	got := d.EnumerateStrings(5, 0)
+	if len(got) != 4 {
+		t.Fatalf("enumerated %v, want 4 strings", got)
+	}
+}
+
+func TestQuickLiteralAlwaysMatchesSelf(t *testing.T) {
+	f := func(s string) bool {
+		clean := sanitizeASCII(s, 10)
+		if clean == "" {
+			return true
+		}
+		d := MustCompile(Escape(clean))
+		// Matches itself, not itself+junk.
+		return d.MatchString(clean) && !d.MatchString(clean+"!")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterExpansionSize(t *testing.T) {
+	// [0-9]{4} has exactly 10^4 strings.
+	d := MustCompile("[0-9]{4}")
+	if got := d.LanguageSize(4); got != 10000 {
+		t.Errorf("language size = %d, want 10000", got)
+	}
+}
+
+func TestDateSpaceSize(t *testing.T) {
+	// The date pattern <Month> <Day>, <Year> from Figure 1: 12 months x
+	// (10 one-digit + 100 two-digit) day strings x 10^4 years — the "millions
+	// of candidates" the introduction cites.
+	pattern := "((January)|(February)|(March)|(April)|(May)|(June)|(July)|(August)|" +
+		"(September)|(October)|(November)|(December)) [0-9]{1,2}, [0-9]{4}"
+	d := MustCompile(pattern)
+	if got := d.LanguageSize(30); got != 12*110*10000 {
+		t.Errorf("date language size = %d, want %d", got, 12*110*10000)
+	}
+}
+
+// sanitizeASCII maps fuzz input into printable ASCII of bounded length.
+func sanitizeASCII(s string, maxLen int) string {
+	out := make([]byte, 0, maxLen)
+	for i := 0; i < len(s) && len(out) < maxLen; i++ {
+		out = append(out, 32+s[i]%95)
+	}
+	return string(out)
+}

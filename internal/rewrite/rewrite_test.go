@@ -1,0 +1,250 @@
+package rewrite
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automaton"
+	"repro/internal/regex"
+)
+
+func mustCompile(t *testing.T, pattern string) *automaton.DFA {
+	t.Helper()
+	d, err := regex.Compile(pattern)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	return d
+}
+
+func language(t *testing.T, d *automaton.DFA) []string {
+	t.Helper()
+	strs := d.EnumerateStrings(64, 10000)
+	sort.Strings(strs)
+	return strs
+}
+
+func TestApplySingleRule(t *testing.T) {
+	d := mustCompile(t, "the cat")
+	out := Apply(d, []Rule{{From: "cat", To: "feline"}})
+	got := language(t, out)
+	want := []string{"the cat", "the feline"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestApplyKeepsOriginalLanguage(t *testing.T) {
+	d := mustCompile(t, "(cat)|(dog)|(bird)")
+	out := Apply(d, []Rule{{From: "dog", To: "hound"}, {From: "cat", To: "kitty"}})
+	for _, s := range []string{"cat", "dog", "bird", "hound", "kitty"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+	if out.MatchString("puppy") {
+		t.Error("unexpected string accepted")
+	}
+}
+
+func TestApplyMultipleOccurrences(t *testing.T) {
+	// Both occurrences of "a" can independently rewrite to "@".
+	d := mustCompile(t, "aba")
+	out := Apply(d, []Rule{{From: "a", To: "@"}})
+	for _, s := range []string{"aba", "@ba", "ab@", "@b@"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+}
+
+func TestApplyEmptyToIsDeletion(t *testing.T) {
+	d := mustCompile(t, "ab")
+	out := Apply(d, []Rule{{From: "b", To: ""}})
+	for _, s := range []string{"ab", "a"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+}
+
+func TestApplyEmptyFromIgnored(t *testing.T) {
+	d := mustCompile(t, "xy")
+	out := Apply(d, []Rule{{From: "", To: "z"}})
+	if !automaton.Equivalent(d, out) {
+		t.Fatal("empty From must be a no-op")
+	}
+}
+
+func TestApplyOnInfiniteLanguage(t *testing.T) {
+	d := mustCompile(t, "(ab)*")
+	out := Apply(d, []Rule{{From: "a", To: "A"}})
+	for _, s := range []string{"", "ab", "Ab", "abab", "Abab", "abAb", "AbAb"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+	if out.MatchString("aB") {
+		t.Error("unexpected rewrite of b")
+	}
+}
+
+func TestApplyNoCascading(t *testing.T) {
+	// One round: a->b, then b->c must not chain a->c through the new path.
+	d := mustCompile(t, "a")
+	out := Apply(d, []Rule{{From: "a", To: "b"}, {From: "b", To: "c"}})
+	if !out.MatchString("a") || !out.MatchString("b") {
+		t.Fatal("expected a and b")
+	}
+	if out.MatchString("c") {
+		t.Fatal("rules must not cascade within one Apply")
+	}
+}
+
+func TestObligatoryRemovesUnrewritten(t *testing.T) {
+	d := mustCompile(t, "(the cat)|(a dog)")
+	out := Obligatory(d, []Rule{{From: "cat", To: "feline"}})
+	if out.MatchString("the cat") {
+		t.Error("obligatory rewrite must drop the unrewritten string")
+	}
+	for _, s := range []string{"the feline", "a dog"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+}
+
+func TestWordVariantsDeterministic(t *testing.T) {
+	d := mustCompile(t, "good movie")
+	variants := map[string][]string{
+		"good":  {"great", "fine"},
+		"movie": {"film"},
+	}
+	a := WordVariants(d, variants)
+	b := WordVariants(d, variants)
+	if !automaton.Equivalent(a, b) {
+		t.Fatal("WordVariants not deterministic")
+	}
+	for _, s := range []string{"good movie", "great movie", "fine movie", "good film", "great film", "fine film"} {
+		if !a.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+}
+
+func TestHomoglyphsCoverInsultMasking(t *testing.T) {
+	// The §4.3 scenario: a profanity regex expanded with homoglyph rules
+	// matches the symbol-infixed spellings seen in the wild.
+	d := mustCompile(t, "nitwit")
+	out := Apply(d, Homoglyphs())
+	for _, s := range []string{"nitwit", "n1twit", "nitw1t", "n!twi7"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+	if out.MatchString("nitwat") {
+		t.Error("non-homoglyph substitution accepted")
+	}
+}
+
+func TestCaseRules(t *testing.T) {
+	d := mustCompile(t, "cat")
+	out := Apply(d, CaseRules("cat"))
+	if !out.MatchString("Cat") || !out.MatchString("cat") {
+		t.Fatal("case variant missing")
+	}
+	d2 := mustCompile(t, "Cat")
+	out2 := Apply(d2, CaseRules("Cat"))
+	if !out2.MatchString("cat") || !out2.MatchString("Cat") {
+		t.Fatal("downcase variant missing")
+	}
+	if rules := CaseRules(""); rules != nil {
+		t.Fatal("empty word must produce no rules")
+	}
+	if rules := CaseRules("9lives"); rules != nil {
+		t.Fatal("non-letter word must produce no rules")
+	}
+}
+
+func TestFactorDFA(t *testing.T) {
+	alpha := []automaton.Symbol{'a', 'b', 'c'}
+	d := factorDFA("abab", alpha)
+	cases := map[string]bool{
+		"abab":     true,
+		"cabab":    true,
+		"ababc":    true,
+		"aabab":    true,
+		"ababab":   true,
+		"aba":      false,
+		"":         false,
+		"abba":     false,
+		"abaabbab": false,
+	}
+	for s, want := range cases {
+		if got := d.MatchString(s); got != want {
+			t.Errorf("factor match %q = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// Property: Apply's output language always contains the input language.
+func TestApplyContainsOriginalProperty(t *testing.T) {
+	words := []string{"cat", "dog", "catalog", "dodge", "a", ""}
+	f := func(fromIdx, toIdx uint8) bool {
+		from := words[int(fromIdx)%len(words)]
+		to := words[int(toIdx)%len(words)]
+		d := mustCompile(t, "(the cat sat)|(a catalog)|(dog days)")
+		out := Apply(d, []Rule{{From: from, To: to}})
+		for _, s := range []string{"the cat sat", "a catalog", "dog days"} {
+			if !out.MatchString(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every string in Apply's output is reachable by applying the rule
+// to some original string (checked by reverse-substitution on small cases).
+func TestApplySoundnessSmall(t *testing.T) {
+	d := mustCompile(t, "(abc)|(aabb)")
+	rule := Rule{From: "ab", To: "XY"}
+	out := Apply(d, []Rule{rule})
+	for _, s := range language(t, out) {
+		// Undo any subset of XY occurrences and check one lands in L(d).
+		if !reachableFrom(d, s, rule) {
+			t.Errorf("unsound output %q", s)
+		}
+	}
+}
+
+// reachableFrom reports whether unrewriting occurrences of rule.To in s can
+// produce a string accepted by d.
+func reachableFrom(d *automaton.DFA, s string, rule Rule) bool {
+	if d.MatchString(s) {
+		return true
+	}
+	idx := strings.Index(s, rule.To)
+	for idx >= 0 {
+		undone := s[:idx] + rule.From + s[idx+len(rule.To):]
+		if reachableFrom(d, undone, rule) {
+			return true
+		}
+		next := strings.Index(s[idx+1:], rule.To)
+		if next < 0 {
+			break
+		}
+		idx += 1 + next
+	}
+	return false
+}

@@ -1,0 +1,301 @@
+// Package stats provides the statistical machinery the evaluation uses: the
+// chi-squared independence test with exact p-values (§4.2.2's Observation 3),
+// empirical CDFs (Figure 9), histograms, and descriptive summaries. Special
+// functions are implemented from scratch (regularized incomplete gamma via
+// series and continued-fraction expansions).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ChiSquareIndependence runs Pearson's chi-squared test of independence on a
+// contingency table (rows x cols of observed counts). It returns the test
+// statistic, degrees of freedom, and the p-value. In log10P it also reports
+// log10 of the p-value, which remains meaningful when the p-value underflows
+// float64 (the paper reports values like 10^-229).
+func ChiSquareIndependence(table [][]float64) (chi2 float64, dof int, p float64, log10P float64, err error) {
+	rows := len(table)
+	if rows < 2 {
+		return 0, 0, 0, 0, errors.New("stats: need at least 2 rows")
+	}
+	cols := len(table[0])
+	if cols < 2 {
+		return 0, 0, 0, 0, errors.New("stats: need at least 2 columns")
+	}
+	rowSum := make([]float64, rows)
+	colSum := make([]float64, cols)
+	total := 0.0
+	for i := range table {
+		if len(table[i]) != cols {
+			return 0, 0, 0, 0, errors.New("stats: ragged table")
+		}
+		for j, v := range table[i] {
+			if v < 0 {
+				return 0, 0, 0, 0, errors.New("stats: negative count")
+			}
+			rowSum[i] += v
+			colSum[j] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0, 0, errors.New("stats: empty table")
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			expected := rowSum[i] * colSum[j] / total
+			if expected == 0 {
+				continue
+			}
+			d := table[i][j] - expected
+			chi2 += d * d / expected
+		}
+	}
+	dof = (rows - 1) * (cols - 1)
+	p = ChiSquareSF(chi2, dof)
+	log10P = Log10ChiSquareSF(chi2, dof)
+	return chi2, dof, p, log10P, nil
+}
+
+// ChiSquareSF is the survival function of the chi-squared distribution:
+// P(X >= x) with k degrees of freedom = Q(k/2, x/2), the regularized upper
+// incomplete gamma function.
+func ChiSquareSF(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(float64(k)/2, x/2)
+}
+
+// Log10ChiSquareSF returns log10 of the survival function, computed in log
+// space so extreme significances (p ~ 1e-200 and below) don't underflow.
+func Log10ChiSquareSF(x float64, k int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return logGammaQ(float64(k)/2, x/2) / math.Ln10
+}
+
+// regularizedGammaQ computes Q(a, x) = Γ(a,x)/Γ(a) using the series for
+// x < a+1 and the continued fraction otherwise (Numerical Recipes §6.2).
+func regularizedGammaQ(a, x float64) float64 {
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return math.Exp(logGammaQCF(a, x))
+}
+
+// logGammaQ computes ln Q(a, x) stably for large x.
+func logGammaQ(a, x float64) float64 {
+	if x < a+1 {
+		p := gammaPSeries(a, x)
+		if p < 1 {
+			return math.Log(1 - p)
+		}
+		return math.Inf(-1)
+	}
+	return logGammaQCF(a, x)
+}
+
+// gammaPSeries computes P(a, x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < 1000; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-16 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// logGammaQCF computes ln Q(a, x) via the Lentz continued fraction.
+func logGammaQCF(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 1000; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	return -x + a*math.Log(x) - lg + math.Log(h)
+}
+
+// CDF is an empirical cumulative distribution function over float samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF; the input is copied.
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns the empirical P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th empirical quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)))
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Len reports the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Histogram counts occurrences per label.
+type Histogram struct {
+	Counts map[string]int
+	Total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{Counts: map[string]int{}}
+}
+
+// Add increments a label.
+func (h *Histogram) Add(label string) {
+	h.Counts[label]++
+	h.Total++
+}
+
+// Prob returns the empirical probability of a label.
+func (h *Histogram) Prob(label string) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[label]) / float64(h.Total)
+}
+
+// Labels returns the labels sorted by descending count, ties alphabetical.
+func (h *Histogram) Labels() []string {
+	out := make([]string, 0, len(h.Counts))
+	for l := range h.Counts {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if h.Counts[out[i]] != h.Counts[out[j]] {
+			return h.Counts[out[i]] > h.Counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Summary holds descriptive statistics.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes descriptive statistics of samples.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(samples), Min: samples[0], Max: samples[0]}
+	sum := 0.0
+	for _, x := range samples {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(samples))
+	varSum := 0.0
+	for _, x := range samples {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(samples) > 1 {
+		s.Std = math.Sqrt(varSum / float64(len(samples)-1))
+	}
+	c := NewCDF(samples)
+	s.Median = c.Quantile(0.5)
+	return s
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial proportion
+// (successes out of n at confidence multiplier z; z=1.96 is 95%). It behaves
+// sensibly at the extremes (0 or n successes, tiny n) where the normal
+// approximation fails — the regime quick-scale experiment reports live in.
+func WilsonInterval(successes, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if z <= 0 {
+		z = 1.96
+	}
+	p := float64(successes) / float64(n)
+	z2 := z * z
+	denom := 1 + z2/float64(n)
+	center := p + z2/(2*float64(n))
+	margin := z * math.Sqrt(p*(1-p)/float64(n)+z2/(4*float64(n)*float64(n)))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

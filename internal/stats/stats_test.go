@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareSFKnownValues(t *testing.T) {
+	// Reference values: chi2 with 1 dof, SF(3.841) ~ 0.05; SF(6.635) ~ 0.01.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+		tol  float64
+	}{
+		{3.841, 1, 0.05, 0.001},
+		{6.635, 1, 0.01, 0.0005},
+		{0, 1, 1, 0},
+		{2.706, 1, 0.10, 0.001},
+		{9.488, 4, 0.05, 0.001},
+		{16.919, 9, 0.05, 0.001},
+	}
+	for _, tc := range cases {
+		got := ChiSquareSF(tc.x, tc.k)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("SF(%f, %d) = %f, want %f", tc.x, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestLog10SFExtreme(t *testing.T) {
+	// A chi2 of ~1060 with 1 dof is around p = 10^-232 — the paper's bias
+	// significances live here. Regular SF underflows; log form must not.
+	l := Log10ChiSquareSF(1060, 1)
+	if l > -200 || l < -260 || math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Errorf("Log10 SF(1060, 1) = %f, want roughly -232", l)
+	}
+	// Consistency with the non-log version where both are representable.
+	x := 20.0
+	lp := Log10ChiSquareSF(x, 2)
+	p := ChiSquareSF(x, 2)
+	if math.Abs(math.Pow(10, lp)-p) > 1e-9 {
+		t.Errorf("log and linear SF disagree: 10^%f vs %g", lp, p)
+	}
+}
+
+func TestChiSquareIndependencePerfectlyDependent(t *testing.T) {
+	table := [][]float64{
+		{100, 0},
+		{0, 100},
+	}
+	chi2, dof, p, _, err := ChiSquareIndependence(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 1 {
+		t.Errorf("dof = %d, want 1", dof)
+	}
+	if chi2 < 190 {
+		t.Errorf("chi2 = %f, want ~200 for perfect dependence", chi2)
+	}
+	if p > 1e-40 {
+		t.Errorf("p = %g, want extreme significance", p)
+	}
+}
+
+func TestChiSquareIndependenceIndependent(t *testing.T) {
+	table := [][]float64{
+		{50, 50},
+		{50, 50},
+	}
+	chi2, _, p, _, err := ChiSquareIndependence(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 > 1e-9 {
+		t.Errorf("chi2 = %f, want 0 for identical rows", chi2)
+	}
+	if p < 0.99 {
+		t.Errorf("p = %f, want ~1", p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	for _, table := range [][][]float64{
+		{{1, 2}},          // one row
+		{{1}, {2}},        // one column
+		{{1, 2}, {3}},     // ragged
+		{{0, 0}, {0, 0}},  // empty
+		{{1, 2}, {-1, 3}}, // negative
+	} {
+		if _, _, _, _, err := ChiSquareIndependence(table); err == nil {
+			t.Errorf("table %v should error", table)
+		}
+	}
+}
+
+func TestChiSquareMoreSignificantWithMoreData(t *testing.T) {
+	// Same proportions, 10x the data -> strictly more significant (the
+	// mechanism behind the paper's 10^-18 vs 10^-229 ordering).
+	small := [][]float64{{30, 20}, {20, 30}}
+	big := [][]float64{{300, 200}, {200, 300}}
+	_, _, _, lsmall, _ := ChiSquareIndependence(small)
+	_, _, _, lbig, _ := ChiSquareIndependence(big)
+	if lbig >= lsmall {
+		t.Errorf("10x data should be more significant: %f vs %f", lbig, lsmall)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {10, 1}, {1.5, 0.25},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%f) = %f, want %f", tc.x, got, tc.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if q := c.Quantile(0); q != 10 {
+		t.Errorf("q0 = %f", q)
+	}
+	if q := c.Quantile(1); q != 40 {
+		t.Errorf("q1 = %f", q)
+	}
+	if q := c.Quantile(0.5); q != 30 {
+		t.Errorf("q0.5 = %f, want 30", q)
+	}
+	if !math.IsNaN(NewCDF(nil).Quantile(0.5)) {
+		t.Error("empty CDF quantile should be NaN")
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		clean := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		c := NewCDF(clean)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add("a")
+	h.Add("a")
+	h.Add("b")
+	if h.Prob("a") != 2.0/3 || h.Prob("b") != 1.0/3 || h.Prob("c") != 0 {
+		t.Errorf("probs wrong: %v", h.Counts)
+	}
+	labels := h.Labels()
+	if len(labels) != 2 || labels[0] != "a" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %f, want sqrt(2.5)", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestGammaQContinuity(t *testing.T) {
+	// The series/continued-fraction switchover at x = a+1 must be smooth.
+	a := 2.5
+	x := a + 1
+	below := regularizedGammaQ(a, x-1e-9)
+	above := regularizedGammaQ(a, x+1e-9)
+	if math.Abs(below-above) > 1e-6 {
+		t.Errorf("discontinuity at switchover: %g vs %g", below, above)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Known value: 8/10 at 95% -> approximately [0.490, 0.943].
+	lo, hi := WilsonInterval(8, 10, 1.96)
+	if math.Abs(lo-0.490) > 0.01 || math.Abs(hi-0.943) > 0.01 {
+		t.Fatalf("8/10: got [%.3f, %.3f]", lo, hi)
+	}
+	// The interval must contain the point estimate.
+	for _, c := range []struct{ s, n int }{{0, 10}, {10, 10}, {1, 1}, {0, 1}, {5, 100}} {
+		lo, hi := WilsonInterval(c.s, c.n, 1.96)
+		p := float64(c.s) / float64(c.n)
+		if p < lo-1e-12 || p > hi+1e-12 {
+			t.Errorf("%d/%d: point %.3f outside [%.3f, %.3f]", c.s, c.n, p, lo, hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%d/%d: malformed interval [%.3f, %.3f]", c.s, c.n, lo, hi)
+		}
+	}
+	// Degenerate inputs.
+	if lo, hi := WilsonInterval(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("n=0 should be vacuous, got [%.3f, %.3f]", lo, hi)
+	}
+	// More data narrows the interval.
+	lo1, hi1 := WilsonInterval(8, 10, 1.96)
+	lo2, hi2 := WilsonInterval(80, 100, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Error("larger sample did not narrow the interval")
+	}
+	// z defaulting.
+	dlo, dhi := WilsonInterval(8, 10, 0)
+	if dlo != lo1 || dhi != hi1 {
+		t.Error("z<=0 must default to 1.96")
+	}
+}

@@ -1,0 +1,192 @@
+// Package textio renders the evaluation's tables and figures as aligned
+// text: fixed-width tables for the paper's Table 1-style outputs and ASCII
+// bar/line charts for the figure-shaped outputs. Everything writes to an
+// io.Writer so harness output can be teed or captured in tests.
+package textio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return fmt.Sprintf("%v", v)
+	case v != 0 && math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v-math.Round(v)) < 1e-12 && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders horizontal bars scaled to the max value, one per label —
+// the text analog of the paper's bar figures (e.g. Figure 6).
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	max := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		fmt.Fprintf(w, "  %s  %s %s\n", pad(labels[i], labelW), strings.Repeat("#", n), formatFloat(v))
+	}
+}
+
+// Series is one line of a multi-series plot: cumulative or x/y data.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders series as a coarse ASCII plot (rows = y buckets, cols =
+// x buckets), the text analog of Figures 5, 8, 9, 10. Each series is drawn
+// with its own glyph.
+func LineChart(w io.Writer, title string, series []Series, cols, rows int) {
+	if cols <= 0 {
+		cols = 60
+	}
+	if rows <= 0 {
+		rows = 16
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	glyphs := "*o+x#@%&"
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(cols-1))
+			r := rows - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(rows-1))
+			grid[r][c] = g
+		}
+	}
+	fmt.Fprintf(w, "  y: [%s .. %s]\n", formatFloat(minY), formatFloat(maxY))
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(w, "  x: [%s .. %s]\n", formatFloat(minX), formatFloat(maxX))
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+}
+
+// Section prints a titled horizontal rule, used between experiment outputs.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s %s\n", title, strings.Repeat("=", maxInt(0, 70-len(title))))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

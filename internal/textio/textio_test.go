@@ -1,0 +1,93 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	tb := NewTable("model", "accuracy")
+	tb.AddRow("GPT-2XL", 0.71)
+	tb.AddRow("GPT-2", 0.522)
+	tb.Render(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "model") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "GPT-2XL") || !strings.Contains(lines[2], "0.71") {
+		t.Errorf("row wrong: %q", lines[2])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		0.25:     "0.2500",
+		0.000001: "1.000e-06",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "throughput", []string{"ReLM", "Baseline"}, []float64{10, 5}, 20)
+	out := b.String()
+	if !strings.Contains(out, "throughput") {
+		t.Error("missing title")
+	}
+	relmLine, baseLine := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "ReLM") {
+			relmLine = l
+		}
+		if strings.Contains(l, "Baseline") {
+			baseLine = l
+		}
+	}
+	if strings.Count(relmLine, "#") != 20 {
+		t.Errorf("max bar should be full width: %q", relmLine)
+	}
+	if strings.Count(baseLine, "#") != 10 {
+		t.Errorf("half bar should be half width: %q", baseLine)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, "cumulative", []Series{
+		{Name: "relm", X: []float64{0, 1, 2}, Y: []float64{0, 5, 9}},
+		{Name: "base", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+	}, 30, 8)
+	out := b.String()
+	if !strings.Contains(out, "* = relm") || !strings.Contains(out, "o = base") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("glyphs missing from plot body")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, "empty", nil, 10, 5)
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestSection(t *testing.T) {
+	var b strings.Builder
+	Section(&b, "fig5")
+	if !strings.Contains(b.String(), "== fig5") {
+		t.Error("section header missing")
+	}
+}

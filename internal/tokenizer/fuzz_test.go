@@ -1,0 +1,46 @@
+package tokenizer
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	fuzzTokOnce sync.Once
+	fuzzTok     *BPE
+)
+
+func fuzzTokenizer() *BPE {
+	fuzzTokOnce.Do(func() {
+		fuzzTok = Train([]string{
+			"the cat sat on the mat",
+			"the dog ran in the park",
+			"https://www.example.com/page",
+			"My phone number is 555 555 5555",
+		}, 80)
+	})
+	return fuzzTok
+}
+
+// FuzzEncodeDecodeRoundTrip checks Decode(Encode(s)) == s for arbitrary
+// byte strings — the fundamental tokenizer invariant the graph compiler
+// relies on (a byte-level BPE must represent every string).
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	for _, s := range []string{"", "the cat", "zzz unseen zzz", "日本語", "\x00\xff", "a b  c"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tok := fuzzTokenizer()
+		toks := tok.Encode(s)
+		if got := tok.Decode(toks); got != s {
+			t.Fatalf("round trip: %q -> %v -> %q", s, toks, got)
+		}
+		// Canonical encodings must be stable under re-encoding (§3.2).
+		if got := tok.Encode(tok.Decode(toks)); len(got) != len(toks) {
+			t.Fatalf("canonical encoding unstable for %q", s)
+		}
+		if !IsCanonical(tok, toks) {
+			t.Fatalf("Encode produced a non-canonical sequence for %q", s)
+		}
+	})
+}

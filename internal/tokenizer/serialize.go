@@ -1,0 +1,75 @@
+package tokenizer
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// serializedBPE is the on-disk form of a trained tokenizer. Byte tokens are
+// implicit (always IDs 0..255); only learned merges are stored, in rank
+// order, from which the vocabulary is reconstructed deterministically —
+// the same representation GPT-2's merges.txt uses.
+type serializedBPE struct {
+	Format string     `json:"format"`
+	Merges [][2]Token `json:"merges"` // rank-ordered (left, right) token IDs
+}
+
+// bpeFormat identifies the serialization schema.
+const bpeFormat = "relm-bpe-v1"
+
+// Save writes the tokenizer to w as JSON. Only the merge table is needed:
+// vocabulary and EOS are derived on load.
+func (b *BPE) Save(w io.Writer) error {
+	s := serializedBPE{Format: bpeFormat}
+	for _, m := range b.merges {
+		s.Merges = append(s.Merges, [2]Token{m.left, m.right})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&s); err != nil {
+		return fmt.Errorf("tokenizer: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadBPE reconstructs a tokenizer from a Save stream. The reconstruction
+// replays the merge list: every merge whose operands exist produces the next
+// vocabulary entry, exactly as during training.
+func LoadBPE(r io.Reader) (*BPE, error) {
+	var s serializedBPE
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("tokenizer: load: %w", err)
+	}
+	if s.Format != bpeFormat {
+		return nil, fmt.Errorf("tokenizer: load: unknown format %q", s.Format)
+	}
+	b := &BPE{
+		index: make(map[string]int, numByteTokens+len(s.Merges)+1),
+		ranks: make(map[[2]Token]int, len(s.Merges)),
+	}
+	for i := 0; i < numByteTokens; i++ {
+		surface := string([]byte{byte(i)})
+		b.vocab = append(b.vocab, surface)
+		b.index[surface] = i
+	}
+	for rank, m := range s.Merges {
+		left, right := m[0], m[1]
+		if left < 0 || right < 0 || left >= len(b.vocab) || right >= len(b.vocab) {
+			return nil, fmt.Errorf("tokenizer: load: merge %d references unknown token (%d, %d)", rank, left, right)
+		}
+		surface := b.vocab[left] + b.vocab[right]
+		id, exists := b.index[surface]
+		if !exists {
+			id = len(b.vocab)
+			b.vocab = append(b.vocab, surface)
+			b.index[surface] = id
+		}
+		b.ranks[[2]Token{left, right}] = rank
+		b.merges = append(b.merges, mergeRule{left: left, right: right, result: id})
+	}
+	b.eos = len(b.vocab)
+	b.vocab = append(b.vocab, "")
+	return b, nil
+}

@@ -1,0 +1,71 @@
+package tokenizer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBPESaveLoadRoundTrip(t *testing.T) {
+	orig := Train(trainingCorpus(), 200)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBPE(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != orig.VocabSize() {
+		t.Fatalf("vocab size %d != %d", loaded.VocabSize(), orig.VocabSize())
+	}
+	if loaded.EOS() != orig.EOS() {
+		t.Fatalf("EOS %d != %d", loaded.EOS(), orig.EOS())
+	}
+	for i := 0; i < orig.VocabSize(); i++ {
+		if loaded.TokenBytes(i) != orig.TokenBytes(i) {
+			t.Fatalf("token %d surface %q != %q", i, loaded.TokenBytes(i), orig.TokenBytes(i))
+		}
+	}
+	// Encodings must be identical.
+	for _, s := range []string{"The cat sat", "unseen zz 123!", "", "https://www.example.com/page"} {
+		a, b := orig.Encode(s), loaded.Encode(s)
+		if len(a) != len(b) {
+			t.Fatalf("encode %q differs after reload", s)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("encode %q differs after reload at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestLoadBPERejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not json",
+		`{"format":"wrong","merges":[]}`,
+		`{"format":"relm-bpe-v1","merges":[[999999,0]]}`,
+		`{"format":"relm-bpe-v1","merges":[[-1,0]]}`,
+	} {
+		if _, err := LoadBPE(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadBPE(%q) should fail", in)
+		}
+	}
+}
+
+func TestLoadBPEEmptyMerges(t *testing.T) {
+	b := Train(nil, 0)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBPE(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != 257 {
+		t.Errorf("byte-only vocab = %d, want 257", loaded.VocabSize())
+	}
+}

@@ -1,0 +1,382 @@
+// Package tokenizer implements a byte-level Byte-Pair-Encoding (BPE)
+// tokenizer trained from scratch, standing in for GPT-2's tokenizer. It is
+// the transducer (§2.3) that the graph compiler composes with character
+// automata: every token has a byte-string surface form, one string has many
+// token encodings, and the tokenizer's Encode defines the unique canonical
+// encoding (§3.2).
+package tokenizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Token is a token ID. IDs are dense: [0, VocabSize).
+type Token = int
+
+// Tokenizer is the interface the engine and compiler consume. Both the
+// merge-order BPE encoder and the greedy longest-match encoder implement it.
+type Tokenizer interface {
+	// Encode returns the canonical token sequence for s.
+	Encode(s string) []Token
+	// Decode returns the byte string a token sequence spells.
+	Decode(toks []Token) string
+	// TokenBytes returns the surface form of a single token.
+	TokenBytes(t Token) string
+	// VocabSize reports the number of tokens, including specials.
+	VocabSize() int
+	// EOS returns the end-of-sequence token ID.
+	EOS() Token
+}
+
+// BPE is a trained byte-pair encoder. The first 256 tokens are the raw
+// bytes; learned merge tokens follow; EOS is the final token.
+type BPE struct {
+	vocab  []string       // token ID -> surface bytes ("" for EOS)
+	index  map[string]int // surface bytes -> token ID
+	merges []mergeRule    // in priority order (rank = index)
+	ranks  map[[2]Token]int
+	eos    Token
+}
+
+type mergeRule struct {
+	left, right Token
+	result      Token
+}
+
+// numByteTokens is the size of the base byte alphabet.
+const numByteTokens = 256
+
+// Pretokenize splits text into GPT-2-style pre-tokens: a word with its
+// leading space (" engineering"), a digit run, a punctuation run, or bare
+// whitespace. BPE merges never span pre-token boundaries, which gives the
+// compositionality property the engine relies on — Encode(prefix + " word")
+// = Encode(prefix) + Encode(" word") at word boundaries.
+func Pretokenize(s string) []string {
+	var out []string
+	i := 0
+	class := func(b byte) int {
+		switch {
+		case b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z':
+			return 0 // letter
+		case b >= '0' && b <= '9':
+			return 1 // digit
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			return 2 // space
+		default:
+			return 3 // punctuation / other
+		}
+	}
+	for i < len(s) {
+		start := i
+		// A single leading space glues onto a following non-space run.
+		if s[i] == ' ' && i+1 < len(s) && class(s[i+1]) != 2 {
+			i++
+		}
+		c := class(s[i])
+		for i < len(s) && class(s[i]) == c {
+			i++
+		}
+		out = append(out, s[start:i])
+	}
+	return out
+}
+
+// Train learns numMerges BPE merges from corpus and returns the tokenizer.
+// Training follows the standard BPE procedure (Gage 1994 as adapted for
+// GPT-2): pre-tokenize, start from the byte alphabet, repeatedly merge the
+// most frequent adjacent pair within pre-tokens. Ties break toward the
+// lexicographically smaller pair so training is deterministic.
+func Train(corpus []string, numMerges int) *BPE {
+	b := &BPE{
+		index: make(map[string]int, numByteTokens+numMerges+1),
+		ranks: make(map[[2]Token]int, numMerges),
+	}
+	for i := 0; i < numByteTokens; i++ {
+		s := string([]byte{byte(i)})
+		b.vocab = append(b.vocab, s)
+		b.index[s] = i
+	}
+
+	// Work on token sequences per corpus line, with line frequencies folded
+	// in by deduplication.
+	type seqEntry struct {
+		toks  []Token
+		count int
+	}
+	counts := map[string]int{}
+	for _, line := range corpus {
+		for _, pre := range Pretokenize(line) {
+			counts[pre]++
+		}
+	}
+	seqs := make([]seqEntry, 0, len(counts))
+	keys := make([]string, 0, len(counts))
+	for line := range counts {
+		keys = append(keys, line)
+	}
+	sort.Strings(keys)
+	for _, line := range keys {
+		toks := make([]Token, len(line))
+		for i := 0; i < len(line); i++ {
+			toks[i] = int(line[i])
+		}
+		seqs = append(seqs, seqEntry{toks: toks, count: counts[line]})
+	}
+
+	for m := 0; m < numMerges; m++ {
+		pairCount := map[[2]Token]int{}
+		for _, se := range seqs {
+			for i := 0; i+1 < len(se.toks); i++ {
+				pairCount[[2]Token{se.toks[i], se.toks[i+1]}] += se.count
+			}
+		}
+		if len(pairCount) == 0 {
+			break
+		}
+		var best [2]Token
+		bestCount := -1
+		for p, c := range pairCount {
+			if c > bestCount || (c == bestCount && lessPair(p, best)) {
+				best, bestCount = p, c
+			}
+		}
+		if bestCount < 2 {
+			break // no productive merges left
+		}
+		surface := b.vocab[best[0]] + b.vocab[best[1]]
+		if _, exists := b.index[surface]; exists {
+			// The pair spells an existing token (possible when distinct merge
+			// paths converge); record the rule against the existing ID.
+			b.ranks[best] = len(b.merges)
+			b.merges = append(b.merges, mergeRule{best[0], best[1], b.index[surface]})
+		} else {
+			id := len(b.vocab)
+			b.vocab = append(b.vocab, surface)
+			b.index[surface] = id
+			b.ranks[best] = len(b.merges)
+			b.merges = append(b.merges, mergeRule{best[0], best[1], id})
+		}
+		// Apply the merge to every sequence.
+		for si := range seqs {
+			seqs[si].toks = applyMerge(seqs[si].toks, best, b.index[surface])
+		}
+	}
+
+	b.eos = len(b.vocab)
+	b.vocab = append(b.vocab, "") // EOS has empty surface form
+	return b
+}
+
+func lessPair(a, b [2]Token) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func applyMerge(toks []Token, pair [2]Token, result Token) []Token {
+	out := toks[:0]
+	for i := 0; i < len(toks); {
+		if i+1 < len(toks) && toks[i] == pair[0] && toks[i+1] == pair[1] {
+			out = append(out, result)
+			i += 2
+		} else {
+			out = append(out, toks[i])
+			i++
+		}
+	}
+	return out
+}
+
+// Encode produces the canonical encoding by pre-tokenizing and replaying
+// learned merges in rank order within each pre-token, exactly as GPT-2's
+// tokenizer does.
+func (b *BPE) Encode(s string) []Token {
+	var out []Token
+	for _, pre := range Pretokenize(s) {
+		out = append(out, b.encodeChunk(pre)...)
+	}
+	return out
+}
+
+// encodeChunk replays merges over a single pre-token.
+func (b *BPE) encodeChunk(s string) []Token {
+	toks := make([]Token, len(s))
+	for i := 0; i < len(s); i++ {
+		toks[i] = int(s[i])
+	}
+	for {
+		// Find the lowest-rank applicable merge.
+		bestRank := -1
+		for i := 0; i+1 < len(toks); i++ {
+			if r, ok := b.ranks[[2]Token{toks[i], toks[i+1]}]; ok {
+				if bestRank == -1 || r < bestRank {
+					bestRank = r
+				}
+			}
+		}
+		if bestRank == -1 {
+			return toks
+		}
+		rule := b.merges[bestRank]
+		toks = applyMerge(toks, [2]Token{rule.left, rule.right}, rule.result)
+	}
+}
+
+// Decode concatenates token surface forms. EOS decodes to "".
+func (b *BPE) Decode(toks []Token) string {
+	var sb strings.Builder
+	for _, t := range toks {
+		sb.WriteString(b.vocab[t])
+	}
+	return sb.String()
+}
+
+// TokenBytes returns the surface form of token t.
+func (b *BPE) TokenBytes(t Token) string { return b.vocab[t] }
+
+// VocabSize reports the total number of tokens including EOS.
+func (b *BPE) VocabSize() int { return len(b.vocab) }
+
+// EOS returns the end-of-sequence token.
+func (b *BPE) EOS() Token { return b.eos }
+
+// NumMerges reports how many merge rules were learned.
+func (b *BPE) NumMerges() int { return len(b.merges) }
+
+// TokenID returns the ID of the token with the given surface form, if any.
+func (b *BPE) TokenID(surface string) (Token, bool) {
+	t, ok := b.index[surface]
+	return t, ok
+}
+
+// MultiByteTokens returns all tokens whose surface form is longer than one
+// byte, sorted by ID. These are the "shortcut" candidates of Appendix B.
+func (b *BPE) MultiByteTokens() []Token {
+	var out []Token
+	for id, s := range b.vocab {
+		if len(s) > 1 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MaxTokenLen returns the longest surface form length (the paper's m_max).
+func (b *BPE) MaxTokenLen() int {
+	m := 1
+	for _, s := range b.vocab {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+// IsCanonical reports whether toks is exactly the canonical encoding of the
+// string it spells. EOS anywhere but the end makes a sequence non-canonical.
+func IsCanonical(tk Tokenizer, toks []Token) bool {
+	body := toks
+	if n := len(toks); n > 0 && toks[n-1] == tk.EOS() {
+		body = toks[:n-1]
+	}
+	for _, t := range body {
+		if t == tk.EOS() {
+			return false
+		}
+	}
+	canon := tk.Encode(tk.Decode(body))
+	if len(canon) != len(body) {
+		return false
+	}
+	for i := range canon {
+		if canon[i] != body[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the tokenizer.
+func (b *BPE) String() string {
+	return fmt.Sprintf("BPE{vocab: %d, merges: %d, maxTokenLen: %d}",
+		len(b.vocab), len(b.merges), b.MaxTokenLen())
+}
+
+// Greedy is a longest-match-first encoder over an existing BPE vocabulary.
+// It serves as the alternative canonicalizer discussed in DESIGN.md (the
+// WordPiece-style rule) and as a test oracle: both encoders must round-trip
+// Decode∘Encode = identity.
+type Greedy struct {
+	b    *BPE
+	trie *trieNode
+}
+
+type trieNode struct {
+	children map[byte]*trieNode
+	token    Token // -1 if not a token boundary
+}
+
+// NewGreedy builds a greedy longest-match encoder over b's vocabulary.
+func NewGreedy(b *BPE) *Greedy {
+	root := &trieNode{children: map[byte]*trieNode{}, token: -1}
+	for id, surface := range b.vocab {
+		if surface == "" {
+			continue
+		}
+		n := root
+		for i := 0; i < len(surface); i++ {
+			c := surface[i]
+			child, ok := n.children[c]
+			if !ok {
+				child = &trieNode{children: map[byte]*trieNode{}, token: -1}
+				n.children[c] = child
+			}
+			n = child
+		}
+		n.token = id
+	}
+	return &Greedy{b: b, trie: root}
+}
+
+// Encode tokenizes by repeatedly taking the longest vocabulary entry that
+// prefixes the remaining input. Single bytes are always in the vocabulary,
+// so encoding never fails.
+func (g *Greedy) Encode(s string) []Token {
+	var out []Token
+	for i := 0; i < len(s); {
+		n := g.trie
+		bestTok, bestLen := -1, 0
+		for j := i; j < len(s); j++ {
+			child, ok := n.children[s[j]]
+			if !ok {
+				break
+			}
+			n = child
+			if n.token >= 0 {
+				bestTok, bestLen = n.token, j-i+1
+			}
+		}
+		if bestTok < 0 {
+			// Unreachable: byte tokens always match.
+			bestTok, bestLen = int(s[i]), 1
+		}
+		out = append(out, bestTok)
+		i += bestLen
+	}
+	return out
+}
+
+// Decode delegates to the underlying vocabulary.
+func (g *Greedy) Decode(toks []Token) string { return g.b.Decode(toks) }
+
+// TokenBytes delegates to the underlying vocabulary.
+func (g *Greedy) TokenBytes(t Token) string { return g.b.TokenBytes(t) }
+
+// VocabSize delegates to the underlying vocabulary.
+func (g *Greedy) VocabSize() int { return g.b.VocabSize() }
+
+// EOS delegates to the underlying vocabulary.
+func (g *Greedy) EOS() Token { return g.b.EOS() }

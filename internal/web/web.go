@@ -1,0 +1,78 @@
+// Package web simulates the URL-validation oracle of §4.1. The paper checks
+// memorized URLs by issuing HTTPS requests and accepting response codes
+// below 300; here the "web" is the synthetic registry of URLs that exist in
+// the corpus generator's world, and Check consults membership while charging
+// a simulated round-trip time against a virtual clock.
+package web
+
+import (
+	"sync"
+	"time"
+)
+
+// Oracle answers URL validity queries.
+type Oracle struct {
+	mu       sync.Mutex
+	registry map[string]bool
+	rtt      time.Duration
+	elapsed  time.Duration
+	checks   int64
+	seen     map[string]bool
+}
+
+// NewOracle builds an oracle over the registry (URL -> exists). rtt is the
+// simulated round-trip charged per check (0 means 50ms, a realistic HTTPS
+// HEAD latency).
+func NewOracle(registry map[string]bool, rtt time.Duration) *Oracle {
+	if rtt == 0 {
+		rtt = 50 * time.Millisecond
+	}
+	reg := make(map[string]bool, len(registry))
+	for k, v := range registry {
+		reg[k] = v
+	}
+	return &Oracle{registry: reg, rtt: rtt, seen: map[string]bool{}}
+}
+
+// Check reports whether the URL exists ("HTTP < 300"). Every call charges
+// one round trip.
+func (o *Oracle) Check(url string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.checks++
+	o.elapsed += o.rtt
+	return o.registry[url]
+}
+
+// CheckUnique reports whether the URL exists and has not been validated
+// before — the paper counts *unique* validated URLs (duplicates are the
+// baselines' major cost).
+func (o *Oracle) CheckUnique(url string) (valid, duplicate bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.checks++
+	o.elapsed += o.rtt
+	if !o.registry[url] {
+		return false, false
+	}
+	if o.seen[url] {
+		return true, true
+	}
+	o.seen[url] = true
+	return true, false
+}
+
+// Stats reports oracle activity.
+func (o *Oracle) Stats() (checks int64, elapsed time.Duration, unique int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.checks, o.elapsed, len(o.seen)
+}
+
+// Reset clears the uniqueness ledger and counters (registry is kept).
+func (o *Oracle) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.checks, o.elapsed = 0, 0
+	o.seen = map[string]bool{}
+}

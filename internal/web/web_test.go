@@ -1,0 +1,73 @@
+package web
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCheck(t *testing.T) {
+	o := NewOracle(map[string]bool{"https://www.a.com/x": true}, 0)
+	if !o.Check("https://www.a.com/x") {
+		t.Error("registered URL should be valid")
+	}
+	if o.Check("https://www.b.com/y") {
+		t.Error("unregistered URL should be invalid")
+	}
+}
+
+func TestCheckUnique(t *testing.T) {
+	o := NewOracle(map[string]bool{"u": true}, 0)
+	valid, dup := o.CheckUnique("u")
+	if !valid || dup {
+		t.Errorf("first check = (%v,%v), want (true,false)", valid, dup)
+	}
+	valid, dup = o.CheckUnique("u")
+	if !valid || !dup {
+		t.Errorf("second check = (%v,%v), want (true,true)", valid, dup)
+	}
+	valid, dup = o.CheckUnique("missing")
+	if valid || dup {
+		t.Errorf("invalid check = (%v,%v), want (false,false)", valid, dup)
+	}
+}
+
+func TestStatsAndClock(t *testing.T) {
+	o := NewOracle(map[string]bool{"u": true}, 10*time.Millisecond)
+	o.Check("u")
+	o.CheckUnique("u")
+	checks, elapsed, unique := o.Stats()
+	if checks != 2 {
+		t.Errorf("checks = %d, want 2", checks)
+	}
+	if elapsed != 20*time.Millisecond {
+		t.Errorf("elapsed = %v, want 20ms", elapsed)
+	}
+	if unique != 1 {
+		t.Errorf("unique = %d, want 1", unique)
+	}
+}
+
+func TestReset(t *testing.T) {
+	o := NewOracle(map[string]bool{"u": true}, 0)
+	o.CheckUnique("u")
+	o.Reset()
+	checks, _, unique := o.Stats()
+	if checks != 0 || unique != 0 {
+		t.Error("reset did not clear counters")
+	}
+	if _, dup := o.CheckUnique("u"); dup {
+		t.Error("reset should clear the uniqueness ledger")
+	}
+	if !o.Check("u") {
+		t.Error("reset must keep the registry")
+	}
+}
+
+func TestRegistryIsCopied(t *testing.T) {
+	reg := map[string]bool{"u": true}
+	o := NewOracle(reg, 0)
+	delete(reg, "u")
+	if !o.Check("u") {
+		t.Error("oracle should own a copy of the registry")
+	}
+}

@@ -1,0 +1,64 @@
+package relm_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/relm"
+)
+
+// exampleModel trains a deterministic toy world for the runnable examples.
+func exampleModel() *relm.Model {
+	lines := []string{
+		"the cat sat on the mat",
+		"the cat sat on the mat",
+		"the dog ran in the park",
+	}
+	tok := tokenizer.Train(lines, 40)
+	lm := model.TrainNGram(lines, tok, model.NGramConfig{Order: 5, MaxSeqLen: 32})
+	return relm.NewModel(lm, tok, relm.ModelOptions{})
+}
+
+// The paper's Figure 2 query: a structured multiple choice. The result is
+// guaranteed to be one of the pattern's strings, ordered by model
+// probability.
+func ExampleSearch() {
+	m := exampleModel()
+	results, err := relm.Search(m, relm.SearchQuery{
+		Query: relm.QueryString{Pattern: "( cat)|( dog)|( fox)", Prefix: "the"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, match := range results.Take(3) {
+		fmt.Println(match.Text)
+	}
+	// Output:
+	// the cat
+	// the dog
+	// the fox
+}
+
+// DisjunctionOf builds the closed-choice pattern of §2.4 from literals,
+// escaping regex metacharacters.
+func ExampleDisjunctionOf() {
+	fmt.Println(relm.DisjunctionOf("yes", "no", "n/a?"))
+	// Output:
+	// (yes)|(no)|(n/a\?)
+}
+
+// Explain previews a query's compiled form and warnings without touching the
+// model.
+func ExampleExplain() {
+	m := exampleModel()
+	plan, err := relm.Explain(m, relm.SearchQuery{
+		Query: relm.QueryString{Pattern: "( cat)|( dog)", Prefix: "the"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.LanguageSize, plan.PrefixStrings, len(plan.Warnings))
+	// Output:
+	// 2 1 0
+}

@@ -1,0 +1,94 @@
+package relm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/regex"
+)
+
+// MassEstimate reports certified bounds on the probability that a complete
+// model generation lies in the query's language — the quantitative form of
+// "measure LLM behavior over sets too large to enumerate" (§1). See
+// engine.Mass for the exact semantics.
+type MassEstimate struct {
+	// Lower and Upper bound the mass; the true value lies between them.
+	Lower, Upper float64
+	// Matches counts complete strings resolved into Lower.
+	Matches int64
+	// Expanded counts search-node expansions performed.
+	Expanded int64
+	// Converged reports the gap closed to within the tolerance.
+	Converged bool
+}
+
+// Gap is the remaining uncertainty.
+func (e *MassEstimate) Gap() float64 { return e.Upper - e.Lower }
+
+// String renders the estimate as an interval.
+func (e *MassEstimate) String() string {
+	mark := ""
+	if !e.Converged {
+		mark = " (budget exhausted)"
+	}
+	return fmt.Sprintf("mass ∈ [%.6g, %.6g], %d matches resolved%s", e.Lower, e.Upper, e.Matches, mark)
+}
+
+// MassOptions bounds the mass computation.
+type MassOptions struct {
+	// Tolerance stops once Upper-Lower <= Tolerance (default 1e-3).
+	Tolerance float64
+	// MaxNodes caps node expansions (default 1<<17).
+	MaxNodes int
+}
+
+// Mass computes certified lower/upper bounds on the probability mass of the
+// query's pattern language, conditioned on the (uniform mixture of the)
+// prefix language. Unlike Search, which streams individual matches, Mass
+// answers the aggregate question "how likely is the model to emit any
+// string in L?" — e.g. the total probability of emitting a phone number, a
+// memorized URL, or an insult, without enumerating the set.
+//
+// Decision rules (TopK/TopP/Temperature) act as hard filters, matching the
+// §2.4 language semantics. The match must be a complete generation (EOS
+// after the pattern), so RequireEOS is implied.
+func Mass(m *Model, q SearchQuery, opts MassOptions) (*MassEstimate, error) {
+	if m == nil || m.Tok == nil || m.Dev == nil {
+		return nil, errors.New("relm: model is incomplete")
+	}
+	applyDefaults(&q)
+	comp, err := compilePattern(m, q)
+	if err != nil {
+		return nil, err
+	}
+	eq := &engine.Query{
+		Rule:      buildRule(q),
+		MaxTokens: q.MaxTokens,
+		Pattern:   comp.token,
+		Filter:    comp.filter,
+	}
+	if q.Query.Prefix != "" {
+		prefixChar, perr := regex.Compile(q.Query.Prefix)
+		if perr != nil {
+			return nil, fmt.Errorf("relm: prefix: %w", perr)
+		}
+		if size := prefixChar.LanguageSize(q.PrefixMaxLen); size < 0 || size > int64(q.PrefixLimit) {
+			return nil, fmt.Errorf("relm: prefix language exceeds %d strings; restrict the prefix or raise PrefixLimit", q.PrefixLimit)
+		}
+		for _, s := range prefixChar.EnumerateStrings(q.PrefixMaxLen, q.PrefixLimit+1) {
+			eq.Prefixes = append(eq.Prefixes, m.Tok.Encode(s))
+		}
+		if len(eq.Prefixes) == 0 {
+			return nil, errors.New("relm: prefix language is empty")
+		}
+	}
+	res := engine.Mass(m.Dev, eq, engine.MassOptions{Tolerance: opts.Tolerance, MaxNodes: opts.MaxNodes})
+	return &MassEstimate{
+		Lower:     res.Lower,
+		Upper:     res.Upper,
+		Matches:   res.Matches,
+		Expanded:  res.Expanded,
+		Converged: res.Converged,
+	}, nil
+}

@@ -1,0 +1,232 @@
+package relm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/automaton"
+	"repro/internal/compiler"
+	"repro/internal/regex"
+)
+
+// compiled holds the products of pattern compilation, shared by Search and
+// Explain.
+type compiled struct {
+	char     *automaton.DFA // byte-alphabet automaton after preprocessors
+	token    *automaton.DFA // token-alphabet LLM automaton
+	filter   *compiler.CanonicalFilter
+	resolved CanonicalStrategy // which canonical construction actually ran
+}
+
+// compilePattern runs §3.1's pipeline up to the LLM automaton.
+func compilePattern(m *Model, q SearchQuery) (*compiled, error) {
+	charDFA, err := regex.Compile(q.Query.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("relm: pattern: %w", err)
+	}
+	for _, p := range q.Preprocessors {
+		charDFA, err = p.Transform(charDFA)
+		if err != nil {
+			return nil, fmt.Errorf("relm: preprocessor %s: %w", p.Name(), err)
+		}
+	}
+	c := &compiled{char: charDFA}
+
+	switch q.Tokenization {
+	case CanonicalTokens:
+		switch q.Canonical {
+		case CanonicalAuto:
+			canon, cerr := compiler.CompileCanonical(charDFA, m.Tok, q.PatternMaxLen, q.CanonicalLimit)
+			if cerr == nil {
+				c.token = canon
+				c.resolved = CanonicalEnumerate
+			} else if errors.Is(cerr, compiler.ErrLanguageTooLarge) {
+				// Too large to enumerate: traverse the full automaton under
+				// the lazy dynamic canonicality filter (§3.2 option 2).
+				c.token = compiler.CompileFull(charDFA, m.Tok)
+				c.filter = compiler.NewCanonicalFilter(m.Tok)
+				c.resolved = CanonicalDynamic
+			} else {
+				return nil, cerr
+			}
+		case CanonicalEnumerate:
+			canon, cerr := compiler.CompileCanonical(charDFA, m.Tok, q.PatternMaxLen, q.CanonicalLimit)
+			if cerr != nil {
+				return nil, cerr
+			}
+			c.token = canon
+			c.resolved = CanonicalEnumerate
+		case CanonicalPairwise:
+			c.token = compiler.CompileCanonicalPairwise(charDFA, m.Tok)
+			c.resolved = CanonicalPairwise
+		case CanonicalDynamic:
+			c.token = compiler.CompileFull(charDFA, m.Tok)
+			c.filter = compiler.NewCanonicalFilter(m.Tok)
+			c.resolved = CanonicalDynamic
+		default:
+			return nil, fmt.Errorf("relm: unknown canonical strategy %d", q.Canonical)
+		}
+	case AllTokens:
+		c.token = compiler.CompileFull(charDFA, m.Tok)
+	default:
+		return nil, fmt.Errorf("relm: unknown tokenization strategy %d", q.Tokenization)
+	}
+	return c, nil
+}
+
+// Plan describes how a query would execute, without executing it — the
+// "additional logic for optimizing query execution" the paper's conclusion
+// plans. Use it to diagnose pathological queries (exploding languages,
+// degenerate prefixes, unexpected canonical fallbacks) before paying for
+// model inference.
+type Plan struct {
+	// CharStates and CharEdges size the byte-alphabet automaton after
+	// preprocessors ran.
+	CharStates, CharEdges int
+	// TokenStates and TokenEdges size the compiled LLM automaton.
+	TokenStates, TokenEdges int
+	// LanguageSize counts pattern strings up to PatternMaxLen bytes
+	// (-1: infinite or beyond the horizon).
+	LanguageSize int64
+	// Encodings counts token paths through the LLM automaton up to
+	// MaxTokens (or the horizon below), measuring encoding ambiguity:
+	// Encodings > LanguageSize means some strings have multiple encodings.
+	// -1 when the count overflows int64.
+	Encodings int64
+	// Tokenization echoes the query's strategy.
+	Tokenization TokenizationStrategy
+	// ResolvedCanonical reports which canonical construction ran (only
+	// meaningful for CanonicalTokens; CanonicalAuto resolves to Enumerate
+	// or Dynamic).
+	ResolvedCanonical CanonicalStrategy
+	// DynamicFilter reports that runtime canonicality pruning is active.
+	DynamicFilter bool
+	// PrefixStrings counts the enumerated prefix language (0 when the
+	// query has no prefix; -1 when the prefix language exceeds the limit).
+	PrefixStrings int64
+	// Strategy echoes the traversal.
+	Strategy SearchStrategy
+	// Warnings lists conditions likely to make the query slow or empty.
+	Warnings []string
+}
+
+// String renders the plan as an indented summary.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan:\n")
+	fmt.Fprintf(&b, "  char automaton:   %d states, %d edges\n", p.CharStates, p.CharEdges)
+	fmt.Fprintf(&b, "  token automaton:  %d states, %d edges\n", p.TokenStates, p.TokenEdges)
+	fmt.Fprintf(&b, "  language size:    %s\n", countStr(p.LanguageSize))
+	fmt.Fprintf(&b, "  token encodings:  %s\n", countStr(p.Encodings))
+	fmt.Fprintf(&b, "  tokenization:     %s\n", tokenizationName(p.Tokenization, p.ResolvedCanonical, p.DynamicFilter))
+	fmt.Fprintf(&b, "  prefix strings:   %s\n", countStr(p.PrefixStrings))
+	fmt.Fprintf(&b, "  traversal:        %s\n", strategyName(p.Strategy))
+	for _, w := range p.Warnings {
+		fmt.Fprintf(&b, "  warning: %s\n", w)
+	}
+	return b.String()
+}
+
+func countStr(n int64) string {
+	if n < 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func tokenizationName(t TokenizationStrategy, c CanonicalStrategy, dyn bool) string {
+	if t == AllTokens {
+		return "all encodings"
+	}
+	switch c {
+	case CanonicalEnumerate:
+		return "canonical (enumerated)"
+	case CanonicalPairwise:
+		return "canonical (pairwise automaton)"
+	case CanonicalDynamic:
+		if dyn {
+			return "canonical (dynamic runtime filter)"
+		}
+		return "canonical (dynamic)"
+	default:
+		return "canonical"
+	}
+}
+
+func strategyName(s SearchStrategy) string {
+	switch s {
+	case ShortestPath:
+		return "shortest path (Dijkstra)"
+	case RandomSampling:
+		return "random sampling"
+	case BeamSearch:
+		return "beam search"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(s))
+	}
+}
+
+// Explain compiles a query exactly as Search would and returns the execution
+// plan instead of running it. No model inference is performed.
+func Explain(m *Model, q SearchQuery) (*Plan, error) {
+	if m == nil || m.Tok == nil || m.Dev == nil {
+		return nil, errors.New("relm: model is incomplete")
+	}
+	applyDefaults(&q)
+	comp, err := compilePattern(m, q)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		CharStates:        comp.char.NumStates(),
+		CharEdges:         comp.char.NumEdges(),
+		TokenStates:       comp.token.NumStates(),
+		TokenEdges:        comp.token.NumEdges(),
+		Tokenization:      q.Tokenization,
+		ResolvedCanonical: comp.resolved,
+		DynamicFilter:     comp.filter != nil,
+		Strategy:          q.Strategy,
+	}
+	p.LanguageSize = comp.char.LanguageSize(q.PatternMaxLen)
+	maxToks := q.MaxTokens
+	if maxToks <= 0 {
+		maxToks = m.LM.MaxSeqLen()
+	}
+	p.Encodings = compiler.CountEncodings(comp.token, maxToks)
+
+	if q.Query.Prefix != "" {
+		prefixChar, perr := regex.Compile(q.Query.Prefix)
+		if perr != nil {
+			return nil, fmt.Errorf("relm: prefix: %w", perr)
+		}
+		size := prefixChar.LanguageSize(q.PrefixMaxLen)
+		if size < 0 || size > int64(q.PrefixLimit) {
+			p.PrefixStrings = -1
+			p.Warnings = append(p.Warnings, fmt.Sprintf("prefix language exceeds PrefixLimit=%d; Search will refuse deterministic traversals", q.PrefixLimit))
+		} else {
+			p.PrefixStrings = size
+			if size == 0 {
+				p.Warnings = append(p.Warnings, "prefix language is empty; Search will fail")
+			}
+		}
+	}
+
+	if comp.token.IsEmpty() {
+		p.Warnings = append(p.Warnings, "pattern language is empty in token space; the query yields no matches")
+	}
+	if p.LanguageSize == 0 && !comp.char.HasCycle() {
+		p.Warnings = append(p.Warnings, "pattern language is empty")
+	}
+	if p.DynamicFilter {
+		p.Warnings = append(p.Warnings, "dynamic canonicality filtering re-encodes partial matches at runtime; prefer CanonicalPairwise for hot queries")
+	}
+	if q.Tokenization == AllTokens && p.LanguageSize > 0 && p.Encodings >= 0 && p.Encodings > 8*p.LanguageSize {
+		p.Warnings = append(p.Warnings, fmt.Sprintf("high encoding ambiguity (%d encodings for %d strings); deduplicate with DedupByText", p.Encodings, p.LanguageSize))
+	}
+	if q.Strategy == ShortestPath && q.TopK == 0 && q.TopP == 0 && p.LanguageSize < 0 {
+		p.Warnings = append(p.Warnings, "unfiltered decoding over an unbounded (or astronomically large) language: every string has p>0, so exhaustion is impossible (§2.4); add TopK or bound the pattern")
+	}
+	return p, nil
+}

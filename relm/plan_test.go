@@ -1,0 +1,137 @@
+package relm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainBasic(t *testing.T) {
+	m := testModel(t)
+	p, err := Explain(m, SearchQuery{
+		Query: QueryString{Pattern: "(cat)|(dog)", Prefix: "The "},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LanguageSize != 2 {
+		t.Errorf("language size = %d, want 2", p.LanguageSize)
+	}
+	if p.PrefixStrings != 1 {
+		t.Errorf("prefix strings = %d, want 1", p.PrefixStrings)
+	}
+	if p.TokenStates == 0 || p.TokenEdges == 0 {
+		t.Error("token automaton not sized")
+	}
+	if p.ResolvedCanonical != CanonicalEnumerate {
+		t.Errorf("resolved = %d, want enumerate for a 2-string language", p.ResolvedCanonical)
+	}
+	if p.DynamicFilter {
+		t.Error("no dynamic filter expected")
+	}
+	if len(p.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", p.Warnings)
+	}
+	if s := p.String(); !strings.Contains(s, "canonical (enumerated)") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestExplainAllTokensAmbiguity(t *testing.T) {
+	m := testModel(t)
+	p, err := Explain(m, SearchQuery{
+		Query:        QueryString{Pattern: "The cat"},
+		Tokenization: AllTokens,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LanguageSize != 1 {
+		t.Fatalf("language size = %d", p.LanguageSize)
+	}
+	if p.Encodings <= 1 {
+		t.Fatalf("encodings = %d, want >1 for AllTokens", p.Encodings)
+	}
+}
+
+func TestExplainUnboundedLanguageWarning(t *testing.T) {
+	m := testModel(t)
+	p, err := Explain(m, SearchQuery{
+		Query: QueryString{Pattern: "[a-z]*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LanguageSize >= 0 {
+		t.Fatalf("language size = %d, want unbounded", p.LanguageSize)
+	}
+	found := false
+	for _, w := range p.Warnings {
+		if strings.Contains(w, "exhaustion is impossible") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing unbounded-language warning in %v", p.Warnings)
+	}
+}
+
+func TestExplainHugePrefixWarning(t *testing.T) {
+	m := testModel(t)
+	p, err := Explain(m, SearchQuery{
+		Query:       QueryString{Pattern: "x", Prefix: "[a-z]{10}"},
+		PrefixLimit: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PrefixStrings != -1 {
+		t.Fatalf("prefix strings = %d, want -1", p.PrefixStrings)
+	}
+	if len(p.Warnings) == 0 {
+		t.Fatal("expected a prefix warning")
+	}
+}
+
+func TestExplainDynamicFilterResolution(t *testing.T) {
+	m := testModel(t)
+	p, err := Explain(m, SearchQuery{
+		Query:          QueryString{Pattern: "[a-z]{1,8}"},
+		CanonicalLimit: 10, // force the enumerate path to overflow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ResolvedCanonical != CanonicalDynamic || !p.DynamicFilter {
+		t.Fatalf("want dynamic fallback, got resolved=%d filter=%v", p.ResolvedCanonical, p.DynamicFilter)
+	}
+}
+
+func TestExplainMatchesSearchBehavior(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{Query: QueryString{Pattern: "(cat)|(dog)", Prefix: "The "}}
+	p, err := Explain(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Search(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := results.Take(10)
+	if int64(len(matches)) != p.LanguageSize {
+		t.Fatalf("plan says %d strings; search yielded %d", p.LanguageSize, len(matches))
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	m := testModel(t)
+	if _, err := Explain(nil, SearchQuery{}); err == nil {
+		t.Error("nil model must error")
+	}
+	if _, err := Explain(m, SearchQuery{Query: QueryString{Pattern: "("}}); err == nil {
+		t.Error("bad pattern must error")
+	}
+	if _, err := Explain(m, SearchQuery{Query: QueryString{Pattern: "a", Prefix: "("}}); err == nil {
+		t.Error("bad prefix must error")
+	}
+}

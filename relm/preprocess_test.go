@@ -1,0 +1,245 @@
+package relm
+
+import (
+	"testing"
+
+	"repro/internal/regex"
+	"repro/internal/rewrite"
+)
+
+func collectTexts(t *testing.T, m *Model, q SearchQuery, n int) map[string]bool {
+	t.Helper()
+	results, err := Search(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, match := range results.Take(n) {
+		out[match.Text] = true
+	}
+	return out
+}
+
+func TestSynonymExpandPreprocessor(t *testing.T) {
+	m := testModel(t)
+	got := collectTexts(t, m, SearchQuery{
+		Query: QueryString{Pattern: "The cat sat on the mat"},
+		Preprocessors: []Preprocessor{SynonymExpand{Variants: map[string][]string{
+			"cat": {"dog"},
+		}}},
+	}, 10)
+	if !got["The cat sat on the mat"] || !got["The dog sat on the mat"] {
+		t.Fatalf("synonym variants missing from %v", got)
+	}
+}
+
+func TestSynonymExpandEmptyIsNoop(t *testing.T) {
+	d, err := regex.Compile("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SynonymExpand{}.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != d {
+		t.Fatal("empty variants should return the input automaton")
+	}
+}
+
+func TestHomoglyphExpandPreprocessor(t *testing.T) {
+	d, err := regex.Compile("insult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := HomoglyphExpand{}.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"insult", "1nsult", "in$ult", "insvl7"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing homoglyph variant %q", s)
+		}
+	}
+	if out.MatchString("lnsult") {
+		t.Error("l is not a homoglyph for i in the default table")
+	}
+}
+
+func TestHomoglyphExpandCustomRules(t *testing.T) {
+	d, err := regex.Compile("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := HomoglyphExpand{Rules: []rewrite.Rule{{From: "b", To: "8"}}}.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.MatchString("a8") || !out.MatchString("ab") {
+		t.Fatal("custom rule not applied")
+	}
+	if out.MatchString("@b") {
+		t.Fatal("default table must not apply when custom rules are set")
+	}
+}
+
+func TestCaseVariantsPreprocessor(t *testing.T) {
+	d, err := regex.Compile("the cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CaseVariants{Words: []string{"the", "cat"}}.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"the cat", "The cat", "the Cat", "The Cat"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing case variant %q", s)
+		}
+	}
+	if out.MatchString("THE cat") {
+		t.Error("only leading-character case flips are generated")
+	}
+}
+
+func TestCaseVariantsEmptyWordErrors(t *testing.T) {
+	d, err := regex.Compile("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (CaseVariants{Words: []string{""}}).Transform(d); err == nil {
+		t.Fatal("expected error for empty word")
+	}
+}
+
+func TestRewriteRulesObligatory(t *testing.T) {
+	d, err := regex.Compile("(color)|(flavor)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RewriteRules{
+		Rules:      []rewrite.Rule{{From: "or", To: "our"}},
+		Obligatory: true,
+	}.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"colour", "flavour"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+	for _, s := range []string{"color", "flavor"} {
+		if out.MatchString(s) {
+			t.Errorf("obligatory rewrite kept %q", s)
+		}
+	}
+}
+
+func TestPreprocessorsComposeInSearch(t *testing.T) {
+	m := testModel(t)
+	// Chain: synonyms then edits; the language must include an edited synonym.
+	results, err := Search(m, SearchQuery{
+		Query: QueryString{Pattern: "The cat sat"},
+		Preprocessors: []Preprocessor{
+			SynonymExpand{Variants: map[string][]string{"cat": {"dog"}}},
+			EditDistance{K: 1, Alphabet: []byte("abcdefghijklmnopqrstuvwxyz ")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, match := range results.Take(200) {
+		found[match.Text] = true
+	}
+	if len(found) == 0 {
+		t.Fatal("no results")
+	}
+	// "The dog sat" is a synonym expansion; it or a 1-edit of it must appear.
+	hit := false
+	for s := range found {
+		if s == "The dog sat" || s == "The cat sat" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("neither base string surfaced in %d results", len(found))
+	}
+}
+
+func TestRequireMatchPreprocessor(t *testing.T) {
+	d, err := regex.Compile("[a-c]{2}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RequireMatch{Pattern: "a[a-z]"}.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"aa", "ab", "ac"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+	for _, s := range []string{"ba", "cc", "az"} {
+		if out.MatchString(s) {
+			t.Errorf("unexpected %q", s)
+		}
+	}
+	if _, err := (RequireMatch{Pattern: "("}).Transform(d); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestExcludeMatchPreprocessor(t *testing.T) {
+	d, err := regex.Compile("[a-c]{1,2}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExcludeMatch{Pattern: "a.?"}.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"b", "c", "bb", "cb"} {
+		if !out.MatchString(s) {
+			t.Errorf("missing %q", s)
+		}
+	}
+	for _, s := range []string{"a", "ab", "ac"} {
+		if out.MatchString(s) {
+			t.Errorf("unexpected %q (should be excluded)", s)
+		}
+	}
+	if _, err := (ExcludeMatch{Pattern: ")"}).Transform(d); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestRequireExcludeComposeInSearch(t *testing.T) {
+	m := testModel(t)
+	// Professions containing an "i", excluding medicine: the composition of
+	// intersection and difference at the automaton level.
+	results, err := Search(m, SearchQuery{
+		Query: QueryString{
+			Pattern: "(art)|(science)|(medicine)|(engineering)",
+		},
+		Preprocessors: []Preprocessor{
+			RequireMatch{Pattern: "[a-z]*i[a-z]*"},
+			ExcludeMatch{Pattern: "medicine"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, match := range results.Take(10) {
+		got[match.Text] = true
+	}
+	if !got["science"] || !got["engineering"] {
+		t.Fatalf("missing expected matches in %v", got)
+	}
+	if got["medicine"] || got["art"] {
+		t.Fatalf("excluded/non-matching strings surfaced: %v", got)
+	}
+}

@@ -1,0 +1,508 @@
+// Package relm is the public API of this ReLM reproduction: a Regular
+// Expression engine for Language Models (Kuchnik, Smith, Amvrosiadis —
+// MLSys 2023). A query combines (1) a regular expression describing a set of
+// strings, (2) a language model, (3) decoding/decision rules, and (4) a
+// traversal algorithm; the engine streams back the strings in the
+// intersection of the regex language and the model's language (§3).
+//
+// The API mirrors the paper's Python interface (Figures 4 and 11):
+//
+//	q := relm.SearchQuery{
+//	    Query: relm.QueryString{
+//	        Pattern: "My phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+//	        Prefix:  "My phone number is",
+//	    },
+//	    TopK: 40,
+//	}
+//	results, err := relm.Search(m, q)
+//	for {
+//	    match, err := results.Next()
+//	    if err != nil { break }
+//	    fmt.Println(match.Text) // My phone number is 555 555 5555
+//	}
+//
+// Beyond Search, the package provides Explain (compile a query into an
+// execution plan without running it) and Mass (certified lower/upper bounds
+// on the probability that a complete generation falls in the query's
+// language) — the paper's future-work directions, implemented.
+package relm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/automaton"
+	"repro/internal/cache"
+	"repro/internal/decoding"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/levenshtein"
+	"repro/internal/model"
+	"repro/internal/regex"
+	"repro/internal/tokenizer"
+)
+
+// SearchStrategy selects the traversal algorithm (§3.3).
+type SearchStrategy int
+
+const (
+	// ShortestPath yields matches in order of decreasing model probability
+	// (Dijkstra over -log p), used for memorization and inference.
+	ShortestPath SearchStrategy = iota
+	// RandomSampling draws matches at random (uniform prefixes, model-
+	// conditional suffixes), used to estimate probabilities.
+	RandomSampling
+	// BeamSearch runs constrained beam search (the De Cao-style trie
+	// decoding §5 relates to): bounded frontier, level-synchronized device
+	// batches, but incomplete — low-probability-prefix matches can be
+	// pruned. Configure with BeamWidth.
+	BeamSearch
+)
+
+// TokenizationStrategy selects which token encodings the query covers
+// (§3.2, Figure 3).
+type TokenizationStrategy int
+
+const (
+	// CanonicalTokens restricts the query to the tokenizer's canonical
+	// encoding of each string — the space of conditional generation.
+	CanonicalTokens TokenizationStrategy = iota
+	// AllTokens covers every token sequence that decodes into the language —
+	// the space of unconditional generation (ambiguous encodings).
+	AllTokens
+)
+
+// CanonicalStrategy selects how the canonical token automaton is obtained
+// (§3.2 lists three options; all are implemented).
+type CanonicalStrategy int
+
+const (
+	// CanonicalAuto enumerates when the language is small and falls back to
+	// dynamic canonicality filtering otherwise. (The pairwise construction
+	// is exact for infinite languages too but pays an upfront cost
+	// quadratic in the alphabet, so it stays opt-in.)
+	CanonicalAuto CanonicalStrategy = iota
+	// CanonicalEnumerate materializes and encodes every string (§3.2
+	// option 1); errors on languages beyond CanonicalLimit.
+	CanonicalEnumerate
+	// CanonicalPairwise intersects the full automaton with the language of
+	// locally canonical pair sequences (§3.2 option 3, obligatory rewriting
+	// as an automaton construction). Handles infinite languages exactly.
+	CanonicalPairwise
+	// CanonicalDynamic traverses the full automaton with runtime
+	// canonicality pruning (§3.2 option 2, backtracking).
+	CanonicalDynamic
+)
+
+// QueryString is the formal-language part of a query. Both fields are
+// regular expressions; Prefix may be empty for unconditional generation.
+// The effective language is the concatenation L = prefix · pattern (§2.3).
+type QueryString struct {
+	Pattern string
+	Prefix  string
+}
+
+// SearchQuery is a complete query specification.
+type SearchQuery struct {
+	Query QueryString
+	// TopK applies top-k filtering to pattern tokens (0 disables). The
+	// prefix always bypasses decoding rules (§3.3).
+	TopK int
+	// TopP applies nucleus filtering (0 or 1 disables).
+	TopP float64
+	// Temperature rescales logits before filtering (0 or 1 disables).
+	Temperature float64
+	// Strategy selects the traversal algorithm.
+	Strategy SearchStrategy
+	// Tokenization selects canonical-only or all encodings.
+	Tokenization TokenizationStrategy
+	// Canonical selects the canonical-automaton construction when
+	// Tokenization is CanonicalTokens (default CanonicalAuto).
+	Canonical CanonicalStrategy
+	// Preprocessors transform the pattern automaton before token
+	// compilation (§3.4), e.g. Levenshtein edit expansion or filters.
+	Preprocessors []Preprocessor
+	// RequireEOS demands the model terminate the match with EOS,
+	// disambiguating "b" from "bb" (§3.3).
+	RequireEOS bool
+	// MaxTokens caps pattern length in tokens (default: model window).
+	MaxTokens int
+	// MaxNodes caps shortest-path node expansions (default 1<<20).
+	MaxNodes int
+	// BatchExpand sets the shortest-path frontier batch size (0: the
+	// device's batch limit; 1: exact one-at-a-time expansion). Emission
+	// order is best-first regardless; batching only amortizes device
+	// dispatch.
+	BatchExpand int
+	// PrefixZeroCost disables the §3.3 prefix-priority heuristic, giving
+	// every prefix cost zero (the paper's rejected first design — higher
+	// first-result latency on broad prefixes). For ablation use.
+	PrefixZeroCost bool
+	// BeamWidth sets the hypothesis budget for BeamSearch (default 8).
+	BeamWidth int
+	// DedupByText collapses matches that decode to the same string,
+	// emitting only the highest-probability encoding of each. Useful with
+	// AllTokens, where one string surfaces once per encoding.
+	DedupByText bool
+	// Seed drives random traversals.
+	Seed int64
+	// PrefixLimit caps prefix-language enumeration (default 4096 strings).
+	PrefixLimit int
+	// PrefixMaxLen caps prefix string length in bytes (default 128).
+	PrefixMaxLen int
+	// CanonicalLimit caps canonical enumerate-and-encode; larger pattern
+	// languages fall back to dynamic canonicality filtering (default 50000).
+	CanonicalLimit int
+	// PatternMaxLen caps pattern string length in bytes during canonical
+	// enumeration (default 64).
+	PatternMaxLen int
+	// DeferredFilters are applied to match text at stream time (§3.4:
+	// "ReLM supports deferring filtering to runtime"). A match is dropped
+	// when any filter returns false.
+	DeferredFilters []func(text string) bool
+}
+
+// Model bundles a language model with its tokenizer and simulated device —
+// the objects the paper passes alongside the query (Figure 11's model and
+// tokenizer arguments).
+type Model struct {
+	LM  model.LanguageModel
+	Tok *tokenizer.BPE
+	Dev *device.Device
+}
+
+// ModelOptions configures device simulation and caching.
+type ModelOptions struct {
+	// Latency prices simulated batches (zero value: device defaults).
+	Latency device.LatencyModel
+	// MaxBatch bounds device batch size (0: 64).
+	MaxBatch int
+	// CacheSize bounds the logit LRU cache (0: 8192; negative: no cache).
+	CacheSize int
+}
+
+// NewModel wraps a language model and tokenizer for querying.
+func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Model {
+	if opts.Latency == (device.LatencyModel{}) {
+		opts.Latency = device.DefaultLatency()
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 8192
+	}
+	wrapped := lm
+	if opts.CacheSize > 0 {
+		wrapped = cache.New(lm, opts.CacheSize)
+	}
+	return &Model{
+		LM:  lm,
+		Tok: tok,
+		Dev: device.New(wrapped, opts.Latency, opts.MaxBatch),
+	}
+}
+
+// Match is one query result.
+type Match struct {
+	// Text is the decoded full match (prefix + pattern).
+	Text string
+	// PrefixText and PatternText are the two parts separately.
+	PrefixText  string
+	PatternText string
+	// Tokens is the full token sequence.
+	Tokens []model.Token
+	// PatternTokens is the pattern part of the sequence.
+	PatternTokens []model.Token
+	// LogProb is the model log probability of the sequence (including EOS
+	// when RequireEOS was set).
+	LogProb float64
+	// Canonical reports whether the pattern tokens are the canonical
+	// encoding of PatternText.
+	Canonical bool
+}
+
+// Results streams matches.
+type Results struct {
+	stream  engine.Stream
+	tok     *tokenizer.BPE
+	filters []func(string) bool
+	dedup   bool
+	seen    map[string]bool
+}
+
+// ErrExhausted is returned by Next when the query space has been fully
+// explored (deterministic traversals).
+var ErrExhausted = engine.ErrExhausted
+
+// Next returns the next match, or ErrExhausted.
+func (r *Results) Next() (*Match, error) {
+	for {
+		res, err := r.stream.Next()
+		if err != nil {
+			return nil, err
+		}
+		m := &Match{
+			PrefixText:    r.tok.Decode(res.Prefix),
+			PatternText:   r.tok.Decode(res.Pattern),
+			Tokens:        res.Tokens(),
+			PatternTokens: res.Pattern,
+			LogProb:       res.LogProb,
+			Canonical:     tokenizer.IsCanonical(r.tok, res.Pattern),
+		}
+		m.Text = m.PrefixText + m.PatternText
+		if r.dedup {
+			if r.seen == nil {
+				r.seen = map[string]bool{}
+			}
+			if r.seen[m.Text] {
+				continue
+			}
+			r.seen[m.Text] = true
+		}
+		dropped := false
+		for _, f := range r.filters {
+			if !f(m.Text) {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		return m, nil
+	}
+}
+
+// Take drains up to n matches (fewer if the space exhausts).
+func (r *Results) Take(n int) []*Match {
+	var out []*Match
+	for i := 0; i < n; i++ {
+		m, err := r.Next()
+		if err != nil {
+			break
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Stats exposes the underlying engine counters.
+func (r *Results) Stats() engine.Stats { return r.stream.Stats() }
+
+// Search compiles and launches a query against a model, returning a result
+// stream. Compilation follows §3.1's pipeline: regex -> Natural Language
+// Automaton -> (preprocessors) -> LLM Automaton -> executor.
+func Search(m *Model, q SearchQuery) (*Results, error) {
+	if m == nil || m.Tok == nil || m.Dev == nil {
+		return nil, errors.New("relm: model is incomplete")
+	}
+	applyDefaults(&q)
+
+	// 1–2. Pattern compilation: regex -> char DFA -> preprocessors -> token
+	// automaton per the tokenization strategy.
+	comp, err := compilePattern(m, q)
+	if err != nil {
+		return nil, err
+	}
+	eq := &engine.Query{
+		Rule:           buildRule(q),
+		RequireEOS:     q.RequireEOS,
+		MaxTokens:      q.MaxTokens,
+		MaxNodes:       q.MaxNodes,
+		BatchExpand:    q.BatchExpand,
+		PrefixZeroCost: q.PrefixZeroCost,
+		Pattern:        comp.token,
+		Filter:         comp.filter,
+	}
+
+	// 3. Prefix handling: the prefix is itself a regex (§3.4); its strings
+	// are enumerated and canonically encoded. Prefixes bypass decision rules.
+	var prefixChar *automaton.DFA
+	if q.Query.Prefix != "" {
+		prefixChar, err = regex.Compile(q.Query.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("relm: prefix: %w", err)
+		}
+	}
+
+	newResults := func(stream engine.Stream) *Results {
+		return &Results{stream: stream, tok: m.Tok, filters: q.DeferredFilters, dedup: q.DedupByText}
+	}
+	enumeratePrefixes := func() error {
+		if prefixChar == nil {
+			return nil
+		}
+		// Size check via walk counting before enumerating (a huge prefix
+		// language would otherwise explode the BFS frontier).
+		if size := prefixChar.LanguageSize(q.PrefixMaxLen); size < 0 || size > int64(q.PrefixLimit) {
+			return fmt.Errorf("relm: prefix language exceeds %d strings; restrict the prefix or raise PrefixLimit", q.PrefixLimit)
+		}
+		strs := prefixChar.EnumerateStrings(q.PrefixMaxLen, q.PrefixLimit+1)
+		if len(strs) == 0 {
+			return errors.New("relm: prefix language is empty")
+		}
+		for _, s := range strs {
+			eq.Prefixes = append(eq.Prefixes, m.Tok.Encode(s))
+		}
+		return nil
+	}
+
+	switch q.Strategy {
+	case ShortestPath:
+		if err := enumeratePrefixes(); err != nil {
+			return nil, err
+		}
+		return newResults(engine.ShortestPath(m.Dev, eq)), nil
+
+	case BeamSearch:
+		if err := enumeratePrefixes(); err != nil {
+			return nil, err
+		}
+		return newResults(engine.Beam(m.Dev, eq, engine.BeamOptions{Width: q.BeamWidth})), nil
+
+	case RandomSampling:
+		opts := engine.SamplerOptions{Rng: rand.New(rand.NewSource(q.Seed))}
+		if prefixChar != nil {
+			// Sample prefixes uniformly over the *byte-level* prefix
+			// automaton (each string is exactly one byte path, giving the
+			// uniform-over-strings semantics of §3.3), then encode the
+			// sampled string canonically for the model context.
+			opts.PrefixDFA = prefixChar
+			opts.PrefixMaxLen = q.PrefixMaxLen
+			opts.PrefixEncode = func(s string) []model.Token { return m.Tok.Encode(s) }
+		}
+		return newResults(engine.Sample(m.Dev, eq, opts)), nil
+
+	default:
+		return nil, fmt.Errorf("relm: unknown search strategy %d", q.Strategy)
+	}
+}
+
+func applyDefaults(q *SearchQuery) {
+	if q.PrefixLimit <= 0 {
+		q.PrefixLimit = 4096
+	}
+	if q.PrefixMaxLen <= 0 {
+		q.PrefixMaxLen = 128
+	}
+	if q.CanonicalLimit <= 0 {
+		q.CanonicalLimit = 50000
+	}
+	if q.PatternMaxLen <= 0 {
+		q.PatternMaxLen = 64
+	}
+}
+
+func buildRule(q SearchQuery) decoding.Rule {
+	var chain decoding.Chain
+	if q.Temperature != 0 && q.Temperature != 1 {
+		chain = append(chain, decoding.Temperature{T: q.Temperature})
+	}
+	if q.TopK > 0 {
+		chain = append(chain, decoding.TopK{K: q.TopK})
+	}
+	if q.TopP > 0 && q.TopP < 1 {
+		chain = append(chain, decoding.TopP{P: q.TopP})
+	}
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain
+}
+
+// EscapeLiteral escapes a string for literal use inside a pattern.
+func EscapeLiteral(s string) string { return regex.Escape(s) }
+
+// DisjunctionOf builds the pattern (a)|(b)|... from literal options — the
+// multiple-choice encoding of §2.4.
+func DisjunctionOf(options ...string) string { return regex.Disjunction(options) }
+
+// Preprocessor transforms the pattern's character automaton before token
+// compilation (§3.4). Preprocessors are applied in sequence.
+type Preprocessor interface {
+	Transform(d *automaton.DFA) (*automaton.DFA, error)
+	Name() string
+}
+
+// EditDistance is the Levenshtein preprocessor: it expands the language to
+// all strings within K character edits (insert/delete/substitute over
+// Alphabet). K > 1 composes K distance-1 automata (§3.4).
+type EditDistance struct {
+	K int
+	// Alphabet restricts edit characters; nil means printable ASCII.
+	Alphabet []byte
+}
+
+// Transform implements Preprocessor.
+func (e EditDistance) Transform(d *automaton.DFA) (*automaton.DFA, error) {
+	if e.K < 0 {
+		return nil, errors.New("relm: negative edit distance")
+	}
+	alpha := e.Alphabet
+	if alpha == nil {
+		alpha = levenshtein.PrintableASCII()
+	}
+	return levenshtein.ExpandK(d, alpha, e.K), nil
+}
+
+// Name implements Preprocessor.
+func (e EditDistance) Name() string { return fmt.Sprintf("edit-distance-%d", e.K) }
+
+// RemoveWords is the filter preprocessor: it subtracts the given literal
+// strings from the language (§3.4: filters "remove stop words or toxic
+// content from a query by mapping those strings to the empty string").
+type RemoveWords struct {
+	Words []string
+	// IgnoreCase also removes capitalized variants.
+	IgnoreCase bool
+}
+
+// Transform implements Preprocessor.
+func (r RemoveWords) Transform(d *automaton.DFA) (*automaton.DFA, error) {
+	if len(r.Words) == 0 {
+		return d, nil
+	}
+	words := r.Words
+	if r.IgnoreCase {
+		seen := map[string]bool{}
+		var expanded []string
+		add := func(w string) {
+			if !seen[w] {
+				seen[w] = true
+				expanded = append(expanded, w)
+			}
+		}
+		for _, w := range words {
+			add(w)
+			add(strings.ToLower(w))
+			add(strings.ToUpper(w[:1]) + w[1:])
+		}
+		words = expanded
+	}
+	remove := automaton.FromStrings(words)
+	alpha := levenshtein.SortedAlphabetUnion(levenshtein.AlphabetOf(d), levenshtein.AlphabetOf(remove))
+	syms := make([]automaton.Symbol, len(alpha))
+	for i, b := range alpha {
+		syms[i] = int(b)
+	}
+	return automaton.Difference(d, remove, syms).Minimize(), nil
+}
+
+// Name implements Preprocessor.
+func (r RemoveWords) Name() string { return "remove-words" }
+
+// PrependLiteral rewrites the language to lit·L, useful for adding a leading
+// space or tag to every string in a pattern.
+type PrependLiteral struct{ Lit string }
+
+// Transform implements Preprocessor.
+func (p PrependLiteral) Transform(d *automaton.DFA) (*automaton.DFA, error) {
+	lit, err := regex.Compile(regex.Escape(p.Lit))
+	if err != nil {
+		return nil, err
+	}
+	return automaton.Concat(lit, d), nil
+}
+
+// Name implements Preprocessor.
+func (p PrependLiteral) Name() string { return "prepend-literal" }

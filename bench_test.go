@@ -31,8 +31,8 @@ var (
 	benchEnv  *experiments.Env
 )
 
-func env(b *testing.B) *experiments.Env {
-	b.Helper()
+func env(tb testing.TB) *experiments.Env {
+	tb.Helper()
 	benchOnce.Do(func() {
 		benchEnv = experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
 	})

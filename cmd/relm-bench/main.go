@@ -7,12 +7,18 @@
 //	relm-bench -exp all                 # run everything at -scale quick
 //	relm-bench -exp fig5 -scale full    # one experiment at paper scale
 //	relm-bench -list                    # list experiment IDs
+//
+// Execution knobs (DESIGN.md decision 6): -parallelism sets the device
+// worker-pool width used to score every experiment's batches (default: all
+// CPUs; 1 = the serial path). Experiment results are unaffected — the
+// traversals are deterministic — only wall-clock speed changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -29,6 +35,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment id (comma-separated) or 'all'")
 	scaleFlag := flag.String("scale", "quick", "quick | full")
 	seedFlag := flag.Int64("seed", 0, "world seed (0 = default)")
+	parFlag := flag.Int("parallelism", runtime.NumCPU(), "device worker-pool width for batch scoring (1 = serial)")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -46,8 +53,8 @@ func main() {
 	if *scaleFlag == "full" {
 		scale = experiments.Full
 	}
-	fmt.Printf("building synthetic world (scale=%s)...\n", *scaleFlag)
-	env := experiments.NewEnv(experiments.EnvConfig{Scale: scale, Seed: *seedFlag})
+	fmt.Printf("building synthetic world (scale=%s, parallelism=%d)...\n", *scaleFlag, *parFlag)
+	env := experiments.NewEnv(experiments.EnvConfig{Scale: scale, Seed: *seedFlag, Parallelism: *parFlag})
 	fmt.Printf("world ready: vocab=%d, corpus lines=%d, memorized URLs=%d, pile docs=%d, cloze items=%d\n",
 		env.Tok.VocabSize(), len(env.Corpus), len(env.Web.Memorized), len(env.Pile), len(env.Lambada.Items))
 

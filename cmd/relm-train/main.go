@@ -8,6 +8,12 @@
 //	relm-train -out ./artifacts                 # built-in synthetic corpus
 //	relm-train -corpus lines.txt -out ./artifacts -merges 1500 -order 6
 //	relm-train -out ./artifacts -verify         # round-trip check after save
+//
+// relm-train only trains and serializes; the batched/parallel execution
+// knobs (-batch, -parallelism — DESIGN.md decision 6) live on the commands
+// that run queries: cmd/relm and cmd/relm-bench. Load the saved artifacts
+// there (relm -artifacts ./artifacts -parallelism 8 ...) to query them with
+// a parallel executor.
 package main
 
 import (

@@ -7,6 +7,10 @@
 //	relm-viz -pattern 'The ((cat)|(dog))'            # all three stages
 //	relm-viz -pattern 'The' -stage full              # one stage
 //	relm-viz -pattern 'cat' -edits 1 -stage char     # after preprocessors
+//
+// relm-viz compiles automata only and performs no model inference, so the
+// batched/parallel execution knobs (-batch, -parallelism — DESIGN.md
+// decision 6) do not apply here; they live on cmd/relm and cmd/relm-bench.
 package main
 
 import (

@@ -6,6 +6,15 @@
 //	relm -pattern ' ([0-9]{3}) ([0-9]{3}) ([0-9]{4})' -prefix 'My phone number is' -topk 40 -n 5
 //	relm -pattern ' ((cat)|(dog))' -prefix 'The' -strategy random -n 10
 //	relm -pattern 'art' -tokenization all -n 20
+//
+// Execution knobs (DESIGN.md decision 6): -batch sets the frontier batch
+// size per device round (0 = the device's batch limit; 1 = one-at-a-time
+// "sequential" expansion), and -parallelism sets the worker-pool width for
+// both batch scoring and frontier expansion (default: all CPUs). At a fixed
+// batch size, deterministic traversals return identical results at any
+// parallelism; changing -batch itself can swap results whose probabilities
+// tie or interleave within one batch (at most one batch of best-first
+// deviation; -batch 1 restores exact ordering).
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/model"
@@ -36,7 +46,15 @@ func main() {
 	small := flag.Bool("small", false, "use the small model")
 	explain := flag.Bool("explain", false, "print the query plan instead of executing")
 	artifacts := flag.String("artifacts", "", "load tokenizer.json and model.json from this directory (from relm-train) instead of retraining")
+	batch := flag.Int("batch", 0, "frontier batch size per device round (0 = device batch limit, 1 = sequential expansion)")
+	par := flag.Int("parallelism", runtime.NumCPU(), "worker-pool width for batch scoring and frontier expansion (1 = serial); random-strategy draws depend on (seed, parallelism), so -strategy random keeps parallelism 1 unless this flag is set explicitly")
 	flag.Parse()
+	parSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallelism" {
+			parSet = true
+		}
+	})
 
 	if *pattern == "" {
 		fmt.Fprintln(os.Stderr, "usage: relm -pattern <regex> [-prefix <regex>] [flags]")
@@ -47,14 +65,14 @@ func main() {
 	var m *relm.Model
 	if *artifacts != "" {
 		var err error
-		m, err = loadArtifacts(*artifacts)
+		m, err = loadArtifacts(*artifacts, *par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "relm:", err)
 			os.Exit(1)
 		}
 	} else {
 		fmt.Println("training synthetic model (quick scale)...")
-		env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+		env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick, Parallelism: *par})
 		m = env.FreshModel(*small)
 	}
 
@@ -65,9 +83,18 @@ func main() {
 		Temperature: *temp,
 		RequireEOS:  *eos,
 		Seed:        *seed,
+		BatchExpand: *batch,
+		Parallelism: *par,
 	}
 	if *strategy == "random" {
 		q.Strategy = relm.RandomSampling
+		// Sampling draws are reproducible per (seed, parallelism): keep the
+		// draw sequence machine-independent for a fixed -seed unless the
+		// user opted into parallel waves explicitly. Device workers are
+		// unaffected (scoring parallelism never changes results).
+		if !parSet {
+			q.Parallelism = 1
+		}
 	}
 	if *tokenization == "all" {
 		q.Tokenization = relm.AllTokens
@@ -113,7 +140,7 @@ func main() {
 
 // loadArtifacts reads the tokenizer and model JSON written by relm-train,
 // detecting the model architecture by trying each loader.
-func loadArtifacts(dir string) (*relm.Model, error) {
+func loadArtifacts(dir string, parallelism int) (*relm.Model, error) {
 	tf, err := os.Open(filepath.Join(dir, "tokenizer.json"))
 	if err != nil {
 		return nil, err
@@ -137,5 +164,5 @@ func loadArtifacts(dir string) (*relm.Model, error) {
 	} else {
 		return nil, fmt.Errorf("model.json is neither an n-gram (%v) nor a transformer (%v)", nerr, terr)
 	}
-	return relm.NewModel(lm, tok, relm.ModelOptions{}), nil
+	return relm.NewModel(lm, tok, relm.ModelOptions{Parallelism: parallelism}), nil
 }

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func tok(ts ...model.Token) []model.Token { return ts }
+
+func TestScoreBatchForwardsOnlyMisses(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 64)
+	c.NextLogProbs(tok(1)) // prime one context
+	lps := c.ScoreBatch([][]model.Token{tok(1), tok(2), tok(3)})
+	if len(lps) != 3 {
+		t.Fatalf("batch returned %d rows, want 3", len(lps))
+	}
+	if inner.calls != 3 { // 1 prime + 2 misses; the hit must not be forwarded
+		t.Errorf("inner scored %d contexts, want 3", inner.calls)
+	}
+	if inner.batches != 2 { // one for the prime, one for the whole miss set
+		t.Errorf("inner saw %d batch calls, want 2", inner.batches)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Errorf("stats = %d hits / %d misses, want 1/3", hits, misses)
+	}
+}
+
+func TestScoreBatchDedupesWithinBatch(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 64)
+	ctxs := [][]model.Token{tok(5), tok(5), tok(5), tok(6), tok(5)}
+	lps := c.ScoreBatch(ctxs)
+	if inner.calls != 2 {
+		t.Errorf("inner scored %d contexts, want 2 (duplicates must single-flight)", inner.calls)
+	}
+	for i, lp := range lps {
+		if len(lp) != 8 {
+			t.Fatalf("row %d has %d entries, want vocab size 8", i, len(lp))
+		}
+	}
+	if c.FlightStats() != 3 {
+		t.Errorf("flight count = %d, want 3 duplicate rows parked", c.FlightStats())
+	}
+}
+
+func TestScoreBatchReturnsCopies(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 64)
+	lps := c.ScoreBatch([][]model.Token{tok(1), tok(1)})
+	lps[0][0] = 999
+	if lps[1][0] == 999 {
+		t.Error("duplicate rows share a slice; each row must be a fresh copy")
+	}
+	again := c.ScoreBatch([][]model.Token{tok(1)})
+	if again[0][0] == 999 {
+		t.Error("cached entry was mutated through a returned row")
+	}
+}
+
+// TestScoreBatchSingleFlightConcurrent launches many goroutines scoring the
+// same small context set; single-flight plus the LRU must produce exactly
+// one inner computation per unique context. Run with -race.
+func TestScoreBatchSingleFlightConcurrent(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 1024)
+	uniq := [][]model.Token{tok(1), tok(2), tok(3), tok(4)}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.ScoreBatch(uniq)
+			}
+		}()
+	}
+	wg.Wait()
+	if inner.calls != len(uniq) {
+		t.Errorf("inner scored %d contexts, want exactly %d (one per unique context)", inner.calls, len(uniq))
+	}
+}
+
+// TestScoreBatchConcurrentMixed hammers overlapping batches of hot and cold
+// contexts under -race, checking capacity is respected throughout.
+func TestScoreBatchConcurrentMixed(t *testing.T) {
+	inner := newCounting()
+	c := New(inner, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.ScoreBatch([][]model.Token{
+					tok(model.Token(i % 64)),
+					tok(1), // hot
+					tok(model.Token(g), model.Token(i%16)),
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+}

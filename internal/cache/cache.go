@@ -3,6 +3,13 @@
 // Dijkstra expands many edges out of the same node, and sampling replays
 // shared prefixes — so caching is the difference between O(edges) and
 // O(nodes) model invocations (DESIGN.md decision 4).
+//
+// The batch path is miss-forwarding and single-flight (DESIGN.md
+// decision 6): ScoreBatch answers hits from the LRU, deduplicates repeated
+// contexts within the batch, forwards only the unique misses to the inner
+// model in one batched call, and parks concurrent requests for a context
+// that is already being computed until the first computation lands — so a
+// parallel executor never pays for the same forward twice.
 package cache
 
 import (
@@ -21,13 +28,25 @@ type LM struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 
-	hits   int64
-	misses int64
+	// inflight parks duplicate requests while the first one computes: the
+	// owner fills lp and closes done; waiters read lp afterwards. Entries
+	// are removed once resolved, so the map stays batch-sized.
+	inflight map[string]*flight
+
+	hits    int64
+	misses  int64
+	flights int64 // requests that waited on another goroutine's computation
 }
 
 type entry struct {
 	key string
 	lp  []float64
+}
+
+// flight is one in-progress inner-model computation.
+type flight struct {
+	done chan struct{}
+	lp   []float64
 }
 
 // New wraps inner with a cache of at most capacity contexts. capacity <= 0
@@ -37,10 +56,11 @@ func New(inner model.LanguageModel, capacity int) *LM {
 		capacity = 4096
 	}
 	return &LM{
-		inner:   inner,
-		cap:     capacity,
-		entries: make(map[string]*list.Element, capacity),
-		order:   list.New(),
+		inner:    inner,
+		cap:      capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+		inflight: make(map[string]*flight),
 	}
 }
 
@@ -56,44 +76,107 @@ func (c *LM) MaxSeqLen() int { return c.inner.MaxSeqLen() }
 // NextLogProbs implements model.LanguageModel with memoization. The returned
 // slice is a fresh copy; callers may mutate it freely (decision rules do).
 func (c *LM) NextLogProbs(ctx []model.Token) []float64 {
-	key := model.Key(ctx)
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		lp := el.Value.(*entry).lp
-		c.hits++
-		c.mu.Unlock()
-		out := make([]float64, len(lp))
-		copy(out, lp)
-		return out
+	return c.ScoreBatch([][]model.Token{ctx})[0]
+}
+
+// ScoreBatch implements model.LanguageModel. Hits are answered from the
+// LRU; the unique misses — deduplicated within the batch and against
+// computations already in flight on other goroutines — are forwarded to the
+// inner model in a single batched call.
+func (c *LM) ScoreBatch(ctxs [][]model.Token) [][]float64 {
+	out := make([][]float64, len(ctxs))
+
+	// Classification under one lock pass: each row is a hit, a wait on an
+	// in-flight computation, or a miss this call owns.
+	type waitRef struct {
+		idx int
+		f   *flight
 	}
-	c.misses++
+	type ownRef struct {
+		key string
+		f   *flight
+		idx int // first row wanting this key
+	}
+	var waits []waitRef
+	var owned []ownRef
+	missCtxs := make([][]model.Token, 0, len(ctxs))
+
+	c.mu.Lock()
+	for i, ctx := range ctxs {
+		key := model.Key(ctx)
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			out[i] = copyRow(el.Value.(*entry).lp)
+			continue
+		}
+		if f, ok := c.inflight[key]; ok {
+			// Single-flight: someone (possibly an earlier row of this very
+			// batch) is computing this context; park and reuse.
+			c.flights++
+			waits = append(waits, waitRef{idx: i, f: f})
+			continue
+		}
+		c.misses++
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		owned = append(owned, ownRef{key: key, f: f, idx: i})
+		missCtxs = append(missCtxs, ctx)
+	}
 	c.mu.Unlock()
 
-	lp := c.inner.NextLogProbs(ctx)
-
-	c.mu.Lock()
-	if _, ok := c.entries[key]; !ok {
-		el := c.order.PushFront(&entry{key: key, lp: lp})
-		c.entries[key] = el
-		if c.order.Len() > c.cap {
-			last := c.order.Back()
-			c.order.Remove(last)
-			delete(c.entries, last.Value.(*entry).key)
+	if len(owned) > 0 {
+		// One batched inner call for all unique misses.
+		lps := c.inner.ScoreBatch(missCtxs)
+		c.mu.Lock()
+		for j, o := range owned {
+			o.f.lp = lps[j]
+			if _, ok := c.entries[o.key]; !ok {
+				el := c.order.PushFront(&entry{key: o.key, lp: lps[j]})
+				c.entries[o.key] = el
+				if c.order.Len() > c.cap {
+					last := c.order.Back()
+					c.order.Remove(last)
+					delete(c.entries, last.Value.(*entry).key)
+				}
+			}
+			delete(c.inflight, o.key)
+		}
+		c.mu.Unlock()
+		for j, o := range owned {
+			close(o.f.done)
+			out[o.idx] = copyRow(lps[j])
 		}
 	}
-	c.mu.Unlock()
+	for _, w := range waits {
+		<-w.f.done
+		out[w.idx] = copyRow(w.f.lp)
+	}
+	return out
+}
 
+func copyRow(lp []float64) []float64 {
 	out := make([]float64, len(lp))
 	copy(out, lp)
 	return out
 }
 
-// Stats reports cache hits and misses since creation.
+// Stats reports cache hits and misses since creation. Requests that reused
+// another goroutine's in-flight computation are counted separately by
+// FlightStats, not as hits or misses.
 func (c *LM) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// FlightStats reports how many requests were answered by waiting on a
+// computation already in flight — duplicate work the single-flight layer
+// avoided.
+func (c *LM) FlightStats() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flights
 }
 
 // Len reports the number of cached contexts.

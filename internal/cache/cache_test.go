@@ -10,8 +10,9 @@ import (
 // countingLM counts how many times NextLogProbs is invoked.
 type countingLM struct {
 	model.Uniform
-	mu    sync.Mutex
-	calls int
+	mu      sync.Mutex
+	calls   int // contexts scored (NextLogProbs calls + ScoreBatch rows)
+	batches int // ScoreBatch invocations
 }
 
 func (c *countingLM) NextLogProbs(ctx []model.Token) []float64 {
@@ -19,6 +20,15 @@ func (c *countingLM) NextLogProbs(ctx []model.Token) []float64 {
 	c.calls++
 	c.mu.Unlock()
 	return c.Uniform.NextLogProbs(ctx)
+}
+
+// ScoreBatch counts one call per context scored, mirroring NextLogProbs.
+func (c *countingLM) ScoreBatch(ctxs [][]model.Token) [][]float64 {
+	c.mu.Lock()
+	c.calls += len(ctxs)
+	c.batches++
+	c.mu.Unlock()
+	return model.ScoreSerial(&c.Uniform, ctxs)
 }
 
 func newCounting() *countingLM {

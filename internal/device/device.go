@@ -45,6 +45,7 @@ type Device struct {
 	lm       model.LanguageModel
 	latency  LatencyModel
 	maxBatch int
+	workers  int
 
 	mu        sync.Mutex
 	clock     time.Duration // virtual time elapsed
@@ -60,7 +61,29 @@ func New(lm model.LanguageModel, latency LatencyModel, maxBatch int) *Device {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
-	return &Device{lm: lm, latency: latency, maxBatch: maxBatch}
+	return &Device{lm: lm, latency: latency, maxBatch: maxBatch, workers: 1}
+}
+
+// SetWorkers sets the host worker-pool width used to execute each dispatched
+// batch (DESIGN.md decision 6). The virtual latency model is unaffected —
+// it prices the simulated accelerator, which executes a dispatched batch as
+// one unit — but wall-clock scoring of a chunk is sharded across n
+// goroutines, modelling the accelerator's internal parallelism on the host
+// CPU. n <= 1 keeps execution on the calling goroutine.
+func (d *Device) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.mu.Lock()
+	d.workers = n
+	d.mu.Unlock()
+}
+
+// Workers reports the worker-pool width.
+func (d *Device) Workers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.workers
 }
 
 // Model returns the underlying language model.
@@ -71,9 +94,16 @@ func (d *Device) MaxBatch() int { return d.maxBatch }
 
 // Forward runs one batch of contexts and returns their next-token log-prob
 // vectors, charging the latency model. Batches larger than MaxBatch are
-// split internally.
+// split internally. Scoring goes through the model's ScoreBatch path, so a
+// batched substrate (the packed Transformer forward, the miss-forwarding
+// cache) sees the whole chunk at once; with SetWorkers > 1 each chunk is
+// additionally sharded across a worker pool. Forward is safe for concurrent
+// use.
 func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 	out := make([][]float64, len(ctxs))
+	d.mu.Lock()
+	workers := d.workers
+	d.mu.Unlock()
 	for lo := 0; lo < len(ctxs); lo += d.maxBatch {
 		hi := lo + d.maxBatch
 		if hi > len(ctxs) {
@@ -92,11 +122,36 @@ func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 		d.sequences += int64(len(chunk))
 		d.tokens += int64(tokens)
 		d.mu.Unlock()
-		for i, c := range chunk {
-			out[lo+i] = d.lm.NextLogProbs(c)
-		}
+		d.scoreChunk(chunk, out[lo:hi], workers)
 	}
 	return out
+}
+
+// scoreChunk fills res with the chunk's log-prob rows, sharding across the
+// worker pool. Workers write disjoint index ranges, so the merge needs no
+// locking.
+func (d *Device) scoreChunk(chunk [][]model.Token, res [][]float64, workers int) {
+	if workers > len(chunk) {
+		workers = len(chunk)
+	}
+	if workers <= 1 {
+		copy(res, d.lm.ScoreBatch(chunk))
+		return
+	}
+	var wg sync.WaitGroup
+	per := (len(chunk) + workers - 1) / workers
+	for lo := 0; lo < len(chunk); lo += per {
+		hi := lo + per
+		if hi > len(chunk) {
+			hi = len(chunk)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			copy(res[lo:hi], d.lm.ScoreBatch(chunk[lo:hi]))
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Idle advances the virtual clock without work, modelling host-side time

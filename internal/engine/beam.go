@@ -44,16 +44,15 @@ type beamStream struct {
 	done    []*node // completed matches, unsorted until drain
 	emitted int
 	ran     bool
-	stats   Stats
+	err     error // cancellation observed mid-run
+	stats   counters
 }
 
 func (s *beamStream) init() {
-	for _, p := range s.q.Prefixes {
-		logP := 0.0
-		if len(p) > 0 {
-			logP = scoreSequence(s.dev, p)
-			s.stats.ModelCalls += int64(len(p))
-		}
+	logPs, calls := scoreSequences(s.dev, s.q.Prefixes)
+	s.stats.modelCalls.Add(calls)
+	for pi, p := range s.q.Prefixes {
+		logP := logPs[pi]
 		ctx := make([]model.Token, len(p))
 		copy(ctx, p)
 		s.beam = append(s.beam, &node{
@@ -73,82 +72,79 @@ func (s *beamStream) truncateBeam() {
 	}
 }
 
+// beamSlot is one hypothesis's expansion output: a harvested terminal (if
+// the hypothesis accepts) plus its rule-filtered extensions. Slots are
+// filled concurrently by the worker pool and merged in beam order, keeping
+// the step deterministic at any parallelism.
+type beamSlot struct {
+	term     *node
+	children []*node
+}
+
 // run advances the beam to completion, harvesting accepting hypotheses.
+// The whole level is scored in one device batch; per-hypothesis rule
+// filtering and child generation fan out across the worker pool.
 func (s *beamStream) run() {
 	m := s.dev.Model()
 	for step := 0; step < s.opts.MaxSteps && len(s.beam) > 0; step++ {
+		if err := s.q.Context.Err(); err != nil {
+			s.err = err
+			return
+		}
 		ctxs := make([][]model.Token, len(s.beam))
 		for i, n := range s.beam {
 			ctxs[i] = clampCtx(m, n.ctx)
 		}
 		lps := s.dev.Forward(ctxs)
-		s.stats.ModelCalls += int64(len(s.beam))
-		s.stats.NodesExpanded += int64(len(s.beam))
+		s.stats.modelCalls.Add(int64(len(s.beam)))
+		s.stats.nodesExpanded.Add(int64(len(s.beam)))
 
+		slots := make([]beamSlot, len(s.beam))
+		parallelFor(len(s.beam), s.q.Parallelism, func(i int) {
+			slots[i] = s.expandHypothesis(s.beam[i], lps[i])
+		})
 		var next []*node
-		for i, n := range s.beam {
-			lp := lps[i]
-			_, filtered := decoding.Allowed(s.q.Rule, lp)
-			// Harvest acceptance before extending.
-			if s.q.Pattern.Accepting(n.state) && n.patLen > 0 {
-				pattern := n.ctx[len(n.ctx)-n.patLen:]
-				if s.q.Filter == nil || s.q.Filter.AllowFinal(pattern) {
-					term := &node{
-						state: n.state, ctx: n.ctx, patLen: n.patLen,
-						cost: n.cost, prefLogP: n.prefLogP, terminal: true,
-					}
-					ok := true
-					if s.q.RequireEOS {
-						if filtered[m.EOS()] == model.NegInf {
-							ok = false
-						} else {
-							term.cost -= lp[m.EOS()]
-						}
-					}
-					if ok {
-						s.done = append(s.done, term)
-					}
-				}
+		for _, slot := range slots {
+			if slot.term != nil {
+				s.done = append(s.done, slot.term)
 			}
-			for _, e := range s.q.Pattern.Edges(n.state) {
-				if filtered[e.Sym] == model.NegInf {
-					continue
-				}
-				child := &node{
-					state:    e.To,
-					ctx:      appendToken(n.ctx, e.Sym),
-					patLen:   n.patLen + 1,
-					cost:     n.cost - lp[e.Sym],
-					prefLogP: n.prefLogP,
-				}
-				if s.q.Filter != nil && !s.q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.patLen:]) {
-					continue
-				}
-				next = append(next, child)
-			}
+			next = append(next, slot.children...)
 		}
 		s.beam = next
 		s.truncateBeam()
 	}
-	// Final harvest of hypotheses that ended exactly at MaxSteps.
+	// Final harvest of hypotheses that ended exactly at MaxSteps. The
+	// RequireEOS check needs one more score per candidate; batch them into
+	// a single device round rather than one dispatch each.
+	var finals []*node
 	for _, n := range s.beam {
 		if s.q.Pattern.Accepting(n.state) && n.patLen > 0 {
 			pattern := n.ctx[len(n.ctx)-n.patLen:]
 			if s.q.Filter != nil && !s.q.Filter.AllowFinal(pattern) {
 				continue
 			}
-			if s.q.RequireEOS {
-				lp := s.dev.Forward([][]model.Token{clampCtx(m, n.ctx)})[0]
-				s.stats.ModelCalls++
-				_, filtered := decoding.Allowed(s.q.Rule, lp)
-				if filtered[m.EOS()] == model.NegInf {
-					continue
-				}
-				n.cost -= lp[m.EOS()]
-			}
-			s.done = append(s.done, n)
+			finals = append(finals, n)
 		}
 	}
+	if s.q.RequireEOS && len(finals) > 0 {
+		ctxs := make([][]model.Token, len(finals))
+		for i, n := range finals {
+			ctxs[i] = clampCtx(m, n.ctx)
+		}
+		lps := s.dev.Forward(ctxs)
+		s.stats.modelCalls.Add(int64(len(finals)))
+		kept := finals[:0]
+		for i, n := range finals {
+			_, filtered := decoding.Allowed(s.q.Rule, lps[i])
+			if filtered[m.EOS()] == model.NegInf {
+				continue
+			}
+			n.cost -= lps[i][m.EOS()]
+			kept = append(kept, n)
+		}
+		finals = kept
+	}
+	s.done = append(s.done, finals...)
 	sort.Slice(s.done, func(i, j int) bool { return s.done[i].cost < s.done[j].cost })
 	// Deduplicate identical token sequences (a hypothesis can be harvested
 	// at several steps when its accept state has a rule-blocked extension).
@@ -164,17 +160,66 @@ func (s *beamStream) run() {
 	s.done = uniq
 }
 
+// expandHypothesis harvests a hypothesis's terminal (if accepting) and
+// builds its extensions. Pure with respect to stream state.
+func (s *beamStream) expandHypothesis(n *node, lp []float64) beamSlot {
+	m := s.dev.Model()
+	var slot beamSlot
+	_, filtered := decoding.Allowed(s.q.Rule, lp)
+	// Harvest acceptance before extending.
+	if s.q.Pattern.Accepting(n.state) && n.patLen > 0 {
+		pattern := n.ctx[len(n.ctx)-n.patLen:]
+		if s.q.Filter == nil || s.q.Filter.AllowFinal(pattern) {
+			term := &node{
+				state: n.state, ctx: n.ctx, patLen: n.patLen,
+				cost: n.cost, prefLogP: n.prefLogP, terminal: true,
+			}
+			ok := true
+			if s.q.RequireEOS {
+				if filtered[m.EOS()] == model.NegInf {
+					ok = false
+				} else {
+					term.cost -= lp[m.EOS()]
+				}
+			}
+			if ok {
+				slot.term = term
+			}
+		}
+	}
+	for _, e := range s.q.Pattern.Edges(n.state) {
+		if filtered[e.Sym] == model.NegInf {
+			continue
+		}
+		child := &node{
+			state:    e.To,
+			ctx:      appendToken(n.ctx, e.Sym),
+			patLen:   n.patLen + 1,
+			cost:     n.cost - lp[e.Sym],
+			prefLogP: n.prefLogP,
+		}
+		if s.q.Filter != nil && !s.q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.patLen:]) {
+			continue
+		}
+		slot.children = append(slot.children, child)
+	}
+	return slot
+}
+
 func (s *beamStream) Next() (*Result, error) {
 	if !s.ran {
 		s.ran = true
 		s.run()
+	}
+	if s.err != nil {
+		return nil, s.err
 	}
 	if s.emitted >= len(s.done) {
 		return nil, ErrExhausted
 	}
 	n := s.done[s.emitted]
 	s.emitted++
-	s.stats.Emitted++
+	s.stats.emitted.Add(1)
 	return &Result{
 		Prefix:        n.ctx[:len(n.ctx)-n.patLen],
 		Pattern:       n.ctx[len(n.ctx)-n.patLen:],
@@ -183,4 +228,4 @@ func (s *beamStream) Next() (*Result, error) {
 	}, nil
 }
 
-func (s *beamStream) Stats() Stats { return s.stats }
+func (s *beamStream) Stats() Stats { return s.stats.snapshot() }

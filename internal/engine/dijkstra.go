@@ -24,7 +24,7 @@ type dijkstraStream struct {
 	dev   *device.Device
 	q     *Query
 	heap  nodeHeap
-	stats Stats
+	stats counters
 }
 
 // normalizeQuery fills defaults; a missing prefix set means one empty prefix.
@@ -39,17 +39,20 @@ func normalizeQuery(dev *device.Device, q *Query) *Query {
 	if cp.MaxNodes <= 0 {
 		cp.MaxNodes = 1 << 20
 	}
+	cp.Parallelism = EffectiveParallelism(cp.Parallelism)
+	cp.Context = queryContext(&cp)
 	return &cp
 }
 
+// init roots the search tree: every prefix is scored in one batched device
+// round (all (prefix, position) contexts in a single Forward call) rather
+// than position-by-position, so broad prefix sets pay one dispatch.
 func (s *dijkstraStream) init() {
 	heap.Init(&s.heap)
-	for _, p := range s.q.Prefixes {
-		logP := 0.0
-		if len(p) > 0 {
-			logP = scoreSequence(s.dev, p)
-			s.stats.ModelCalls += int64(len(p))
-		}
+	logPs, calls := scoreSequences(s.dev, s.q.Prefixes)
+	s.stats.modelCalls.Add(calls)
+	for pi, p := range s.q.Prefixes {
+		logP := logPs[pi]
 		cost := -logP
 		if s.q.PrefixZeroCost {
 			// The rejected §3.3 design: a flat prior over prefixes. Every
@@ -80,16 +83,20 @@ func (s *dijkstraStream) init() {
 // Non-terminal nodes are expanded in device batches of up to BatchExpand,
 // amortizing dispatch overhead (§3.3). A terminal at the heap top always
 // emits before further expansion, so batching only reorders results whose
-// costs interleave within a single batch.
+// costs interleave within a single batch. Rule filtering and child
+// generation for a scored batch fan out across the Parallelism worker pool;
+// each worker fills its node's slot and the coordinator pushes slots into
+// the heap in batch order, so the emitted sequence is identical at any
+// worker count (DESIGN.md decision 6).
 func (s *dijkstraStream) Next() (*Result, error) {
-	batchSize := s.q.BatchExpand
-	if batchSize <= 0 {
-		batchSize = s.dev.MaxBatch()
-	}
+	batchSize := EffectiveBatch(s.dev, s.q.BatchExpand)
 	for s.heap.Len() > 0 {
+		if err := s.q.Context.Err(); err != nil {
+			return nil, err
+		}
 		if s.heap[0].terminal {
 			n := heap.Pop(&s.heap).(*node)
-			s.stats.Emitted++
+			s.stats.emitted.Add(1)
 			return &Result{
 				Prefix:        n.ctx[:len(n.ctx)-n.patLen],
 				Pattern:       n.ctx[len(n.ctx)-n.patLen:],
@@ -97,13 +104,14 @@ func (s *dijkstraStream) Next() (*Result, error) {
 				PrefixLogProb: n.prefLogP,
 			}, nil
 		}
-		if s.stats.NodesExpanded >= int64(s.q.MaxNodes) {
+		expanded := s.stats.nodesExpanded.Load()
+		if expanded >= int64(s.q.MaxNodes) {
 			return nil, ErrExhausted
 		}
 		// Gather a batch of non-terminal nodes; stop if a terminal surfaces.
 		var batch []*node
 		for len(batch) < batchSize && s.heap.Len() > 0 && !s.heap[0].terminal &&
-			s.stats.NodesExpanded+int64(len(batch)) < int64(s.q.MaxNodes) {
+			expanded+int64(len(batch)) < int64(s.q.MaxNodes) {
 			batch = append(batch, heap.Pop(&s.heap).(*node))
 		}
 		if len(batch) == 0 {
@@ -115,19 +123,29 @@ func (s *dijkstraStream) Next() (*Result, error) {
 			ctxs[i] = clampCtx(m, n.ctx)
 		}
 		lps := s.dev.Forward(ctxs)
-		s.stats.ModelCalls += int64(len(batch))
-		s.stats.NodesExpanded += int64(len(batch))
-		for i, n := range batch {
-			s.expand(n, lps[i])
+		s.stats.modelCalls.Add(int64(len(batch)))
+		s.stats.nodesExpanded.Add(int64(len(batch)))
+		// Expansion (rule filtering, canonicality checks, child construction)
+		// is independent per node: fan out, then merge lock-free in order.
+		children := make([][]*node, len(batch))
+		parallelFor(len(batch), s.q.Parallelism, func(i int) {
+			children[i] = s.childrenOf(batch[i], lps[i])
+		})
+		for _, cs := range children {
+			for _, c := range cs {
+				heap.Push(&s.heap, c)
+			}
 		}
 	}
 	return nil, ErrExhausted
 }
 
-// expand inserts a node's rule-filtered children (and terminal, if
-// accepting) into the heap.
-func (s *dijkstraStream) expand(n *node, lp []float64) {
+// childrenOf builds a node's rule-filtered children (and terminal, if
+// accepting). It is pure with respect to stream state, so batch slots can be
+// filled concurrently.
+func (s *dijkstraStream) childrenOf(n *node, lp []float64) []*node {
 	m := s.dev.Model()
+	var out []*node
 	_, filtered := decoding.Allowed(s.q.Rule, lp)
 	if n.patLen < s.q.MaxTokens {
 		for _, e := range s.q.Pattern.Edges(n.state) {
@@ -144,15 +162,15 @@ func (s *dijkstraStream) expand(n *node, lp []float64) {
 			if s.q.Filter != nil && !s.q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.patLen:]) {
 				continue
 			}
-			heap.Push(&s.heap, child)
+			out = append(out, child)
 		}
 	}
 	if !s.q.Pattern.Accepting(n.state) || n.patLen == 0 {
-		return
+		return out
 	}
 	pattern := n.ctx[len(n.ctx)-n.patLen:]
 	if s.q.Filter != nil && !s.q.Filter.AllowFinal(pattern) {
-		return
+		return out
 	}
 	term := &node{
 		state:    n.state,
@@ -164,14 +182,14 @@ func (s *dijkstraStream) expand(n *node, lp []float64) {
 	}
 	if s.q.RequireEOS {
 		if filtered[m.EOS()] == model.NegInf {
-			return // EOS unreachable under the rule; not a match
+			return out // EOS unreachable under the rule; not a match
 		}
 		term.cost -= lp[m.EOS()]
 	}
-	heap.Push(&s.heap, term)
+	return append(out, term)
 }
 
-func (s *dijkstraStream) Stats() Stats { return s.stats }
+func (s *dijkstraStream) Stats() Stats { return s.stats.snapshot() }
 
 func appendToken(ctx []model.Token, t model.Token) []model.Token {
 	out := make([]model.Token, len(ctx)+1)

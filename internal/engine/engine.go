@@ -7,8 +7,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/compiler"
@@ -59,6 +62,16 @@ type Query struct {
 	// model cost for prioritization while still bypassing decoding rules.
 	// Exposed for the DESIGN.md decision-5 ablation.
 	PrefixZeroCost bool
+	// Parallelism bounds the engine-side worker pool that rule-filters and
+	// expands a scored batch (DESIGN.md decision 6). Workers write to
+	// per-node slots and the coordinator merges them in batch order, so
+	// deterministic traversals emit the same result sequence at any
+	// parallelism. <= 1 keeps expansion on the calling goroutine.
+	// (Device-side scoring parallelism is configured on the Device.)
+	Parallelism int
+	// Context cancels an in-progress traversal: Next (and Mass) observe it
+	// between expansion rounds and return its error. nil means Background.
+	Context context.Context
 }
 
 // Result is one matching tuple from the stream.
@@ -88,6 +101,27 @@ type Stats struct {
 	Emitted       int64
 	Attempts      int64 // sampler: total sampling attempts (incl. rejected)
 	Rejected      int64 // sampler: attempts that dead-ended or failed a filter
+}
+
+// counters is the race-safe backing store for Stats: streams update it with
+// atomics, so a Stats snapshot is safe from any goroutine while a traversal
+// (and its worker pool) runs.
+type counters struct {
+	nodesExpanded atomic.Int64
+	modelCalls    atomic.Int64
+	emitted       atomic.Int64
+	attempts      atomic.Int64
+	rejected      atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		NodesExpanded: c.nodesExpanded.Load(),
+		ModelCalls:    c.modelCalls.Load(),
+		Emitted:       c.emitted.Load(),
+		Attempts:      c.attempts.Load(),
+		Rejected:      c.rejected.Load(),
+	}
 }
 
 // ErrExhausted is reported by Next when a deterministic traversal has
@@ -138,17 +172,98 @@ func clampCtx(m model.LanguageModel, ctx []model.Token) []model.Token {
 	return ctx
 }
 
-// scoreSequence returns the total log probability of seq under the device's
-// model (no decision rules — used for prefix scoring, which bypasses rules).
-func scoreSequence(dev *device.Device, seq []model.Token) float64 {
+// scoreSequences scores every sequence in one device round: the (sequence,
+// position) contexts of all sequences are flattened into a single Forward
+// call, so a query with P prefixes of length L pays one batched dispatch
+// instead of P·L scalar ones (DESIGN.md decision 6). Returns per-sequence
+// total log probabilities and the number of contexts scored.
+func scoreSequences(dev *device.Device, seqs [][]model.Token) ([]float64, int64) {
 	m := dev.Model()
-	total := 0.0
-	for i := range seq {
-		lp := dev.Forward([][]model.Token{clampCtx(m, seq[:i])})[0]
-		total += lp[seq[i]]
-		if math.IsInf(total, -1) {
-			return model.NegInf
+	var ctxs [][]model.Token
+	// offsets[i] is seq i's first context row; empty sequences own no rows.
+	offsets := make([]int, len(seqs))
+	for i, seq := range seqs {
+		offsets[i] = len(ctxs)
+		for p := range seq {
+			ctxs = append(ctxs, clampCtx(m, seq[:p]))
 		}
 	}
-	return total
+	totals := make([]float64, len(seqs))
+	if len(ctxs) == 0 {
+		return totals, 0
+	}
+	lps := dev.Forward(ctxs)
+	for i, seq := range seqs {
+		total := 0.0
+		for p := range seq {
+			total += lps[offsets[i]+p][seq[p]]
+			if math.IsInf(total, -1) {
+				total = model.NegInf
+				break
+			}
+		}
+		totals[i] = total
+	}
+	return totals, int64(len(ctxs))
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across up to workers
+// goroutines. Callers have fn write only to index-i slots of preallocated
+// slices, so results merge without locks; the coordinator then consumes the
+// slots in index order, keeping traversal output deterministic regardless
+// of worker scheduling.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// queryContext returns the query's cancellation context, defaulting to
+// Background.
+func queryContext(q *Query) context.Context {
+	if q.Context != nil {
+		return q.Context
+	}
+	return context.Background()
+}
+
+// EffectiveBatch resolves a BatchExpand setting against the device: <= 0
+// means one frontier batch per device dispatch window. Query planners
+// (relm.Explain) use this so the reported plan matches what runs.
+func EffectiveBatch(dev *device.Device, batch int) int {
+	if batch <= 0 {
+		return dev.MaxBatch()
+	}
+	return batch
+}
+
+// EffectiveParallelism resolves a Parallelism setting: <= 0 means
+// single-threaded expansion.
+func EffectiveParallelism(p int) int {
+	if p <= 0 {
+		return 1
+	}
+	return p
 }

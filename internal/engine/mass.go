@@ -79,6 +79,14 @@ func (h *massHeap) Pop() interface{} {
 // roots the traversal with initial mass 1/len(prefixes), so the result is
 // the expected mass over a uniformly chosen prefix. RequireEOS is implied by
 // the semantics (complete generations) and the query's flag is ignored.
+//
+// The traversal expands the top-K frontier per round (K = Query.BatchExpand,
+// defaulting to the device batch limit): the K highest-mass nodes are popped
+// and scored in one batched device call, and the bounds are settled in pop
+// order (DESIGN.md decision 6). Bounds stay sound at any K; batching only
+// means up to one round of extra expansions after the tolerance is met.
+// Cancelling Query.Context stops the refinement early — the bounds returned
+// are still sound, just wider.
 func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 1e-3
@@ -88,6 +96,7 @@ func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 	}
 	q = normalizeQuery(dev, q)
 	m := dev.Model()
+	batchSize := EffectiveBatch(dev, q.BatchExpand)
 
 	res := &MassResult{}
 	var frontier massHeap
@@ -106,47 +115,79 @@ func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 			res.Converged = true
 			break
 		}
-		if res.Expanded >= int64(opts.MaxNodes) {
+		if res.Expanded >= int64(opts.MaxNodes) || q.Context.Err() != nil {
 			break
 		}
-		n := heap.Pop(&frontier).(*massNode)
-		frontierMass -= n.mass
-		res.Expanded++
+		// Pop the top-K highest-mass frontier nodes for one device round.
+		var batch []*massNode
+		for len(batch) < batchSize && frontier.Len() > 0 &&
+			res.Expanded+int64(len(batch)) < int64(opts.MaxNodes) {
+			n := heap.Pop(&frontier).(*massNode)
+			frontierMass -= n.mass
+			batch = append(batch, n)
+		}
+		ctxs := make([][]model.Token, len(batch))
+		for i, n := range batch {
+			ctxs[i] = clampCtx(m, n.ctx)
+		}
+		lps := dev.Forward(ctxs)
+		res.Expanded += int64(len(batch))
 
-		lp := dev.Forward([][]model.Token{clampCtx(m, n.ctx)})[0]
-		_, filtered := decoding.Allowed(q.Rule, lp)
+		// Rule filtering, canonicality checks, and child construction are
+		// independent per node: fan out into per-node slots, then settle
+		// the bounds serially in pop order so accumulation stays
+		// deterministic.
+		type massSlot struct {
+			matched   bool
+			matchMass float64
+			children  []*massNode
+		}
+		slots := make([]massSlot, len(batch))
+		parallelFor(len(batch), q.Parallelism, func(i int) {
+			n, lp := batch[i], lps[i]
+			_, filtered := decoding.Allowed(q.Rule, lp)
 
-		// A complete match requires an accepting state, ≥1 pattern token,
-		// the canonicality filter's consent, and a rule-admissible EOS.
-		if q.Pattern.Accepting(n.state) && n.pat > 0 {
-			pattern := n.ctx[len(n.ctx)-n.pat:]
-			if (q.Filter == nil || q.Filter.AllowFinal(pattern)) && filtered[m.EOS()] != model.NegInf {
-				res.Lower += n.mass * math.Exp(lp[m.EOS()])
+			// A complete match requires an accepting state, ≥1 pattern token,
+			// the canonicality filter's consent, and a rule-admissible EOS.
+			if q.Pattern.Accepting(n.state) && n.pat > 0 {
+				pattern := n.ctx[len(n.ctx)-n.pat:]
+				if (q.Filter == nil || q.Filter.AllowFinal(pattern)) && filtered[m.EOS()] != model.NegInf {
+					slots[i].matched = true
+					slots[i].matchMass = n.mass * math.Exp(lp[m.EOS()])
+				}
+			}
+			if n.pat >= q.MaxTokens {
+				return // longer strings are outside the bounded language
+			}
+			for _, e := range q.Pattern.Edges(n.state) {
+				if filtered[e.Sym] == model.NegInf {
+					continue
+				}
+				childMass := n.mass * math.Exp(lp[e.Sym])
+				if childMass <= 0 {
+					continue
+				}
+				child := &massNode{
+					state: e.To,
+					ctx:   appendToken(n.ctx, e.Sym),
+					pat:   n.pat + 1,
+					mass:  childMass,
+				}
+				if q.Filter != nil && !q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.pat:]) {
+					continue
+				}
+				slots[i].children = append(slots[i].children, child)
+			}
+		})
+		for _, sl := range slots {
+			if sl.matched {
+				res.Lower += sl.matchMass
 				res.Matches++
 			}
-		}
-		if n.pat >= q.MaxTokens {
-			continue // longer strings are outside the bounded language
-		}
-		for _, e := range q.Pattern.Edges(n.state) {
-			if filtered[e.Sym] == model.NegInf {
-				continue
+			for _, child := range sl.children {
+				heap.Push(&frontier, child)
+				frontierMass += child.mass
 			}
-			childMass := n.mass * math.Exp(lp[e.Sym])
-			if childMass <= 0 {
-				continue
-			}
-			child := &massNode{
-				state: e.To,
-				ctx:   appendToken(n.ctx, e.Sym),
-				pat:   n.pat + 1,
-				mass:  childMass,
-			}
-			if q.Filter != nil && !q.Filter.AllowPartial(child.ctx[len(child.ctx)-child.pat:]) {
-				continue
-			}
-			heap.Push(&frontier, child)
-			frontierMass += childMass
 		}
 	}
 	res.Upper = res.Lower + frontierMass

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/model"
+	"repro/internal/regex"
+)
+
+// parallelQuery compiles the standard bias-corpus query used across these
+// tests, returning a fresh stream factory so each configuration traverses
+// from scratch.
+func parallelEnv(t *testing.T) (*ngramEnv, *Query) {
+	t.Helper()
+	env := newNgramEnv(t, biasCorpus())
+	char := regex.MustCompile(" was trained in ((engineering)|(medicine)|(art))")
+	pat, err := compiler.CompileCanonical(char, env.tok, 48, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{
+		Pattern: pat,
+		Prefixes: [][]model.Token{
+			env.tok.Encode("The man"),
+			env.tok.Encode("The woman"),
+		},
+		RequireEOS: true,
+	}
+	return env, q
+}
+
+// sequences drains up to n results into comparable (text, logprob) rows.
+func sequences(t *testing.T, s Stream, n int) []Result {
+	t.Helper()
+	var out []Result
+	for i := 0; i < n; i++ {
+		r, err := s.Next()
+		if err != nil {
+			break
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// TestParallelDijkstraDeterminism checks the decision-6 contract: for a
+// fixed batch size, the emitted result sequence is identical at any
+// expansion-worker count and any device worker count — parallelism changes
+// wall-clock speed only.
+func TestParallelDijkstraDeterminism(t *testing.T) {
+	env, q := parallelEnv(t)
+	run := func(parallelism, devWorkers int) []Result {
+		qc := *q
+		qc.BatchExpand = 8
+		qc.Parallelism = parallelism
+		env.dev.SetWorkers(devWorkers)
+		defer env.dev.SetWorkers(1)
+		return sequences(t, ShortestPath(env.dev, &qc), 6)
+	}
+	base := run(1, 1)
+	if len(base) == 0 {
+		t.Fatal("no results from baseline traversal")
+	}
+	for _, cfg := range [][2]int{{4, 1}, {1, 4}, {8, 8}} {
+		got := run(cfg[0], cfg[1])
+		if len(got) != len(base) {
+			t.Fatalf("parallelism=%d devWorkers=%d: %d results, want %d", cfg[0], cfg[1], len(got), len(base))
+		}
+		for i := range base {
+			if string(tokKey(got[i].Tokens())) != string(tokKey(base[i].Tokens())) || got[i].LogProb != base[i].LogProb {
+				t.Fatalf("parallelism=%d devWorkers=%d: result %d diverged from sequential order", cfg[0], cfg[1], i)
+			}
+		}
+	}
+}
+
+func tokKey(toks []model.Token) string { return model.Key(toks) }
+
+// TestParallelBeamDeterminism checks the same contract for beam search.
+func TestParallelBeamDeterminism(t *testing.T) {
+	env, q := parallelEnv(t)
+	run := func(parallelism int) []Result {
+		qc := *q
+		qc.Parallelism = parallelism
+		return sequences(t, Beam(env.dev, &qc, BeamOptions{Width: 8}), 6)
+	}
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("no results from baseline beam")
+	}
+	got := run(6)
+	if len(got) != len(base) {
+		t.Fatalf("parallel beam: %d results, want %d", len(got), len(base))
+	}
+	for i := range base {
+		if string(tokKey(got[i].Tokens())) != string(tokKey(base[i].Tokens())) {
+			t.Fatalf("parallel beam result %d diverged", i)
+		}
+	}
+}
+
+// TestDijkstraCancellation cancels a traversal over an unbounded language
+// mid-stream and checks Next surfaces the context error instead of spinning.
+func TestDijkstraCancellation(t *testing.T) {
+	env := newNgramEnv(t, biasCorpus())
+	char := regex.MustCompile("( (engineering|medicine|art))+")
+	pat := compiler.CompileFull(char, env.tok)
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Query{
+		Pattern:     pat,
+		Prefixes:    [][]model.Token{env.tok.Encode("The man was trained in")},
+		Context:     ctx,
+		Parallelism: 4,
+		BatchExpand: 8,
+	}
+	s := ShortestPath(env.dev, q)
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("first Next before cancel: %v", err)
+	}
+	cancel()
+	if _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+	// The stream must keep reporting the error, not resume.
+	if _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("second Next after cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestSamplerCancellation cancels a sampling stream between draws.
+func TestSamplerCancellation(t *testing.T) {
+	env := newNgramEnv(t, biasCorpus())
+	char := regex.MustCompile(" was trained in ((engineering)|(medicine)|(art))")
+	pat, err := compiler.CompileCanonical(char, env.tok, 48, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Query{
+		Pattern:     pat,
+		Prefixes:    [][]model.Token{env.tok.Encode("The man")},
+		Context:     ctx,
+		Parallelism: 4,
+	}
+	s := Sample(env.dev, q, SamplerOptions{Rng: rand.New(rand.NewSource(7))})
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("draw before cancel: %v", err)
+	}
+	cancel()
+	if _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestMassCancellation checks a cancelled Mass run still returns sound
+// (if wide) bounds.
+func TestMassCancellation(t *testing.T) {
+	env := newNgramEnv(t, biasCorpus())
+	char := regex.MustCompile("( (engineering|medicine|art))+")
+	pat := compiler.CompileFull(char, env.tok)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any refinement
+	q := &Query{
+		Pattern:  pat,
+		Prefixes: [][]model.Token{env.tok.Encode("The man was trained in")},
+		Context:  ctx,
+	}
+	res := Mass(env.dev, q, MassOptions{Tolerance: 1e-9, MaxNodes: 1 << 16})
+	if res.Lower < 0 || res.Upper > 1 || res.Lower > res.Upper {
+		t.Fatalf("cancelled Mass bounds unsound: [%g, %g]", res.Lower, res.Upper)
+	}
+	if res.Expanded != 0 {
+		t.Fatalf("cancelled-before-start Mass expanded %d nodes, want 0", res.Expanded)
+	}
+}
+
+// TestSamplerParallelReproducible: for a fixed (seed, parallelism) the
+// parallel sampler emits the same draw sequence on every run.
+func TestSamplerParallelReproducible(t *testing.T) {
+	env := newNgramEnv(t, biasCorpus())
+	char := regex.MustCompile(" was trained in ((engineering)|(medicine)|(art))")
+	pat, err := compiler.CompileCanonical(char, env.tok, 48, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func() []Result {
+		q := &Query{
+			Pattern:     pat,
+			Prefixes:    [][]model.Token{env.tok.Encode("The man")},
+			Parallelism: 4,
+		}
+		s := Sample(env.dev, q, SamplerOptions{Rng: rand.New(rand.NewSource(42))})
+		return sequences(t, s, 5)
+	}
+	a, b := draw(), draw()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("draw counts: %d, %d, want 5", len(a), len(b))
+	}
+	for i := range a {
+		if string(tokKey(a[i].Tokens())) != string(tokKey(b[i].Tokens())) {
+			t.Fatalf("parallel sampler draw %d not reproducible", i)
+		}
+	}
+}
+
+// TestStatsRaceSafe hammers Stats() from a second goroutine while a
+// parallel traversal runs; the race detector validates the counters.
+func TestStatsRaceSafe(t *testing.T) {
+	env, q := parallelEnv(t)
+	qc := *q
+	qc.Parallelism = 4
+	qc.BatchExpand = 8
+	env.dev.SetWorkers(4)
+	defer env.dev.SetWorkers(1)
+	s := ShortestPath(env.dev, &qc)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = s.Stats()
+			}
+		}
+	}()
+	sequences(t, s, 6)
+	close(done)
+	wg.Wait()
+	if st := s.Stats(); st.NodesExpanded == 0 || st.Emitted == 0 {
+		t.Fatalf("stats not accounted: %+v", st)
+	}
+}

@@ -12,7 +12,8 @@ import (
 
 // SamplerOptions configures randomized traversal.
 type SamplerOptions struct {
-	// Rng drives all randomness; required for reproducibility.
+	// Rng drives all randomness; required for reproducibility. With
+	// Parallelism > 1 it is consumed only to seed per-attempt generators.
 	Rng *rand.Rand
 	// PrefixDFA, when non-nil, is an automaton over the prefix language;
 	// prefixes are drawn uniformly over its accepting walks via walk-count
@@ -42,6 +43,12 @@ type SamplerOptions struct {
 // Random streams never terminate on their own — each Next call is an
 // independent draw (§3.1: "random queries are of infinite length because of
 // resampling").
+//
+// With Query.Parallelism > 1, rejection attempts run in waves of that many
+// workers, each attempt on its own generator seeded deterministically from
+// Rng; the lowest-numbered successful attempt in a wave is emitted, so the
+// draw sequence is reproducible for a fixed (seed, parallelism) pair —
+// though it differs from the sequential sequence (DESIGN.md decision 6).
 func Sample(dev *device.Device, q *Query, opts SamplerOptions) Stream {
 	nq := normalizeQuery(dev, q)
 	if opts.MaxAttemptsPerResult <= 0 {
@@ -62,35 +69,104 @@ type samplerStream struct {
 	q     *Query
 	opts  SamplerOptions
 	walks *automaton.WalkCounter
-	stats Stats
+	// pending buffers surplus successful draws from a parallel wave. Each
+	// wave attempt is an independent seeded draw, so extra successes are
+	// themselves valid samples: emitting them on later Next calls keeps the
+	// distribution and costs no extra model work.
+	pending []*Result
+	stats   counters
 }
 
-func (s *samplerStream) Stats() Stats { return s.stats }
+func (s *samplerStream) Stats() Stats { return s.stats.snapshot() }
 
 // Next performs rejection sampling: draw a prefix, then walk the pattern
 // automaton sampling rule-filtered tokens until acceptance via EOS-weighted
 // stopping. Dead ends (all automaton edges pruned by the rule) reject the
 // attempt.
 func (s *samplerStream) Next() (*Result, error) {
+	if s.q.Parallelism > 1 {
+		return s.nextParallel()
+	}
 	for attempt := 0; attempt < s.opts.MaxAttemptsPerResult; attempt++ {
-		s.stats.Attempts++
-		res, ok := s.sampleOnce()
+		if err := s.q.Context.Err(); err != nil {
+			return nil, err
+		}
+		s.stats.attempts.Add(1)
+		res, ok := s.sampleOnce(s.opts.Rng)
 		if ok {
-			s.stats.Emitted++
+			s.stats.emitted.Add(1)
 			return res, nil
 		}
-		s.stats.Rejected++
+		s.stats.rejected.Add(1)
 	}
 	return nil, ErrExhausted
 }
 
-func (s *samplerStream) samplePrefix() ([]model.Token, bool) {
+// nextParallel runs rejection attempts in waves across the worker pool.
+// Per-attempt seeds are drawn from the stream RNG before the wave launches
+// and successes are consumed in attempt order, so the emitted sequence
+// depends only on (seed, parallelism), not on worker scheduling.
+//
+// Every success in a wave is kept: each attempt is an independent seeded
+// draw, so surplus successes beyond the first are buffered and emitted by
+// later Next calls at zero additional model cost. Stats account for work
+// actually performed: every computed attempt counts toward Attempts and
+// its failures toward Rejected.
+func (s *samplerStream) nextParallel() (*Result, error) {
+	if err := s.q.Context.Err(); err != nil {
+		return nil, err // cancellation outranks buffered surplus draws
+	}
+	if len(s.pending) > 0 {
+		res := s.pending[0]
+		s.pending = s.pending[1:]
+		s.stats.emitted.Add(1)
+		return res, nil
+	}
+	width := s.q.Parallelism
+	for done := 0; done < s.opts.MaxAttemptsPerResult; {
+		if err := s.q.Context.Err(); err != nil {
+			return nil, err
+		}
+		wave := width
+		if rem := s.opts.MaxAttemptsPerResult - done; wave > rem {
+			wave = rem
+		}
+		seeds := make([]int64, wave)
+		for i := range seeds {
+			seeds[i] = s.opts.Rng.Int63()
+		}
+		results := make([]*Result, wave)
+		oks := make([]bool, wave)
+		parallelFor(wave, width, func(i int) {
+			results[i], oks[i] = s.sampleOnce(rand.New(rand.NewSource(seeds[i])))
+		})
+		s.stats.attempts.Add(int64(wave))
+		var winner *Result
+		for i := 0; i < wave; i++ {
+			if !oks[i] {
+				s.stats.rejected.Add(1)
+			} else if winner == nil {
+				winner = results[i]
+			} else {
+				s.pending = append(s.pending, results[i])
+			}
+		}
+		if winner != nil {
+			s.stats.emitted.Add(1)
+			return winner, nil
+		}
+		done += wave
+	}
+	return nil, ErrExhausted
+}
+
+func (s *samplerStream) samplePrefix(rng *rand.Rand) ([]model.Token, bool) {
 	if s.walks != nil {
 		var seq []automaton.Symbol
 		if s.opts.Unnormalized {
-			seq = s.walks.SampleUnnormalized(s.opts.Rng)
+			seq = s.walks.SampleUnnormalized(rng)
 		} else {
-			seq = s.walks.SampleUniform(s.opts.Rng)
+			seq = s.walks.SampleUniform(rng)
 		}
 		if seq == nil {
 			return nil, false
@@ -104,22 +180,26 @@ func (s *samplerStream) samplePrefix() ([]model.Token, bool) {
 		}
 		return seq, true
 	}
-	p := s.q.Prefixes[s.opts.Rng.Intn(len(s.q.Prefixes))]
+	p := s.q.Prefixes[rng.Intn(len(s.q.Prefixes))]
 	out := make([]model.Token, len(p))
 	copy(out, p)
 	return out, true
 }
 
-func (s *samplerStream) sampleOnce() (*Result, bool) {
+func (s *samplerStream) sampleOnce(rng *rand.Rand) (*Result, bool) {
 	m := s.dev.Model()
-	prefix, ok := s.samplePrefix()
+	prefix, ok := s.samplePrefix(rng)
 	if !ok {
 		return nil, false
 	}
 	prefLogP := 0.0
 	if len(prefix) > 0 {
-		prefLogP = scoreSequence(s.dev, prefix)
-		s.stats.ModelCalls += int64(len(prefix))
+		// One batched device round for the whole prefix (every position's
+		// context in a single dispatch) — rejection attempts replay prefixes
+		// constantly, so per-token dispatches would dominate the clock.
+		totals, calls := scoreSequences(s.dev, [][]model.Token{prefix})
+		prefLogP = totals[0]
+		s.stats.modelCalls.Add(calls)
 	}
 
 	ctx := make([]model.Token, len(prefix), len(prefix)+16)
@@ -130,7 +210,7 @@ func (s *samplerStream) sampleOnce() (*Result, bool) {
 
 	for patLen <= s.q.MaxTokens {
 		lp := s.dev.Forward([][]model.Token{clampCtx(m, ctx)})[0]
-		s.stats.ModelCalls++
+		s.stats.modelCalls.Add(1)
 		_, filtered := decoding.Allowed(s.q.Rule, lp)
 
 		// Candidate moves: automaton edges allowed by the rule, plus the
@@ -185,7 +265,7 @@ func (s *samplerStream) sampleOnce() (*Result, bool) {
 		for i, mv := range moves {
 			weights[i] = mv.lp
 		}
-		choice := sampleLog(s.opts.Rng, weights)
+		choice := sampleLog(rng, weights)
 		mv := moves[choice]
 		if mv.stop {
 			pattern := make([]model.Token, patLen)

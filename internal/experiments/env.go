@@ -32,23 +32,31 @@ const (
 // tokenizer, the two model sizes (GPT-2 XL and GPT-2 analogs), and the web
 // oracle.
 type Env struct {
-	Scale     Scale
-	Seed      int64
-	Tok       *tokenizer.BPE
-	Large     *relm.Model // GPT-2 XL analog (higher order, memorizes harder)
-	Small     *relm.Model // GPT-2 analog
-	Web       *corpus.WebCorpus
-	BiasLines []string
-	Pile      []corpus.PileDoc
-	Lambada   *lambada.Dataset
-	Oracle    *web.Oracle
-	Corpus    []string // the full training mix
+	Scale Scale
+	Seed  int64
+	// Parallelism is the device scoring-pool width used for every model the
+	// env wraps (0/1: serial). Set from EnvConfig; cmd/relm-bench exposes it
+	// as -parallelism.
+	Parallelism int
+	Tok         *tokenizer.BPE
+	Large       *relm.Model // GPT-2 XL analog (higher order, memorizes harder)
+	Small       *relm.Model // GPT-2 analog
+	Web         *corpus.WebCorpus
+	BiasLines   []string
+	Pile        []corpus.PileDoc
+	Lambada     *lambada.Dataset
+	Oracle      *web.Oracle
+	Corpus      []string // the full training mix
 }
 
 // EnvConfig overrides sizing; zero values take Scale-based defaults.
 type EnvConfig struct {
-	Scale          Scale
-	Seed           int64
+	Scale Scale
+	Seed  int64
+	// Parallelism sets the device worker-pool width for every model the env
+	// builds (0/1: serial scoring). Traversal results are unaffected; only
+	// wall-clock speed changes.
+	Parallelism    int
 	Merges         int
 	MemorizedURLs  int
 	RepeatsPerURL  int
@@ -125,17 +133,18 @@ func NewEnv(cfg EnvConfig) *Env {
 	})
 
 	return &Env{
-		Scale:     cfg.Scale,
-		Seed:      cfg.Seed,
-		Tok:       tok,
-		Large:     relm.NewModel(large, tok, relm.ModelOptions{}),
-		Small:     relm.NewModel(small, tok, relm.ModelOptions{}),
-		Web:       webCorpus,
-		BiasLines: biasLines,
-		Pile:      pile,
-		Lambada:   lam,
-		Oracle:    web.NewOracle(webCorpus.Registry, 50*time.Millisecond),
-		Corpus:    mix,
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+		Tok:         tok,
+		Large:       relm.NewModel(large, tok, relm.ModelOptions{Parallelism: cfg.Parallelism}),
+		Small:       relm.NewModel(small, tok, relm.ModelOptions{Parallelism: cfg.Parallelism}),
+		Web:         webCorpus,
+		BiasLines:   biasLines,
+		Pile:        pile,
+		Lambada:     lam,
+		Oracle:      web.NewOracle(webCorpus.Registry, 50*time.Millisecond),
+		Corpus:      mix,
 	}
 }
 
@@ -148,7 +157,7 @@ func (e *Env) FreshModel(small bool) *relm.Model {
 	} else {
 		lm = e.Large.LM
 	}
-	return relm.NewModel(lm, e.Tok, relm.ModelOptions{})
+	return relm.NewModel(lm, e.Tok, relm.ModelOptions{Parallelism: e.Parallelism})
 }
 
 // FreshOracle returns an oracle with clean counters over the same registry.

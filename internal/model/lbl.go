@@ -198,3 +198,7 @@ func (m *LogBilinear) NextLogProbs(ctx []Token) []float64 {
 	Normalize(logits)
 	return logits
 }
+
+// ScoreBatch implements LanguageModel. Prediction reads only the trained
+// embeddings, so the trivial loop is concurrency-safe.
+func (m *LogBilinear) ScoreBatch(ctxs [][]Token) [][]float64 { return ScoreSerial(m, ctxs) }

@@ -30,6 +30,24 @@ type LanguageModel interface {
 	// the vocabulary, conditioned on ctx (oldest first). The returned slice
 	// is owned by the caller.
 	NextLogProbs(ctx []Token) []float64
+	// ScoreBatch returns NextLogProbs for every context in one call, row i
+	// corresponding to ctxs[i]. Implementations exploit whatever batch-level
+	// structure they have — the Transformer runs one packed forward pass, the
+	// cache layer forwards only misses — and must be safe for concurrent use
+	// (inference is read-only). Rows are owned by the caller (DESIGN.md
+	// decision 6).
+	ScoreBatch(ctxs [][]Token) [][]float64
+}
+
+// ScoreSerial implements ScoreBatch as a NextLogProbs loop — the correct
+// (if unaccelerated) batch semantics for models with no batch-level
+// structure to exploit.
+func ScoreSerial(m LanguageModel, ctxs [][]Token) [][]float64 {
+	out := make([][]float64, len(ctxs))
+	for i, ctx := range ctxs {
+		out[i] = m.NextLogProbs(ctx)
+	}
+	return out
 }
 
 // NegInf is the log-probability of an impossible event.
@@ -114,6 +132,9 @@ func (u *Uniform) NextLogProbs(ctx []Token) []float64 {
 	return out
 }
 
+// ScoreBatch implements LanguageModel.
+func (u *Uniform) ScoreBatch(ctxs [][]Token) [][]float64 { return ScoreSerial(u, ctxs) }
+
 // Table is a hand-scripted model for tests: a map from context (encoded as a
 // string of token IDs) to explicit next-token distributions, with a uniform
 // fallback.
@@ -161,3 +182,6 @@ func (t *Table) NextLogProbs(ctx []Token) []float64 {
 	}
 	return out
 }
+
+// ScoreBatch implements LanguageModel.
+func (t *Table) ScoreBatch(ctxs [][]Token) [][]float64 { return ScoreSerial(t, ctxs) }

@@ -194,6 +194,11 @@ func (m *NGram) NextLogProbs(ctx []Token) []float64 {
 	return out
 }
 
+// ScoreBatch implements LanguageModel. Count tables are immutable after
+// training, so the trivial loop is already concurrency-safe; there is no
+// cross-row structure to exploit.
+func (m *NGram) ScoreBatch(ctxs [][]Token) [][]float64 { return ScoreSerial(m, ctxs) }
+
 // ObservedContexts reports how many distinct histories of each length were
 // seen in training; useful for sizing diagnostics.
 func (m *NGram) ObservedContexts() []int {

@@ -29,10 +29,6 @@ type Transformer struct {
 	lnF  *layerNorm
 
 	params []*tensor // registry for the optimizer
-
-	// lnFOut holds the final layer-norm activations of the latest forward
-	// pass; trainStep reads it when backpropagating the tied output head.
-	lnFOut [][]float64
 }
 
 // TransformerConfig sizes and trains a Transformer.
@@ -481,8 +477,10 @@ func NewTransformer(vocab int, eos Token, cfg TransformerConfig) *Transformer {
 }
 
 // forward computes logits for every position of seq (T x vocab) and the
-// caches needed for backward.
-func (t *Transformer) forward(seq []Token) (logits [][]float64, caches []*blockCache, mean, rstd []float64, hFinal [][]float64) {
+// caches needed for backward. lnOut is the final layer-norm activation,
+// which trainStep needs to backpropagate the tied output head. Inference
+// reads parameters only, so concurrent forwards are safe.
+func (t *Transformer) forward(seq []Token) (logits [][]float64, caches []*blockCache, mean, rstd []float64, hFinal, lnOut [][]float64) {
 	T := len(seq)
 	x := zeros(T, t.cfg.DModel)
 	for i, tok := range seq {
@@ -512,9 +510,7 @@ func (t *Transformer) forward(seq []Token) (logits [][]float64, caches []*blockC
 		}
 		logits[i] = row
 	}
-	// Keep the final layer-norm activations for the tied-head backward pass.
-	t.lnFOut = n
-	return logits, caches, mu, rs, hFinal
+	return logits, caches, mu, rs, hFinal, n
 }
 
 // trainStep accumulates gradients for one sequence window and returns the
@@ -523,9 +519,8 @@ func (t *Transformer) trainStep(seq []Token) (loss float64, count int) {
 	if len(seq) < 2 {
 		return 0, 0
 	}
-	logits, caches, mu, rs, hFinal := t.forward(seq[:len(seq)-1])
+	logits, caches, mu, rs, hFinal, n := t.forward(seq[:len(seq)-1])
 	T := len(seq) - 1
-	n := t.lnFOut
 
 	dN := zeros(T, t.cfg.DModel)
 	wte := t.params[0]
@@ -646,7 +641,7 @@ func (t *Transformer) Loss(corpus []string, tok tokenizer.Tokenizer) float64 {
 		if len(seq) < 2 {
 			continue
 		}
-		logits, _, _, _, _ := t.forward(seq[:len(seq)-1])
+		logits, _, _, _, _, _ := t.forward(seq[:len(seq)-1])
 		for i := 0; i+1 < len(seq); i++ {
 			Normalize(logits[i])
 			total += -logits[i][seq[i+1]]
@@ -678,7 +673,7 @@ func (t *Transformer) NextLogProbs(ctx []Token) []float64 {
 		// training windows begin at sequence starts.
 		ctx = []Token{t.eosTok}
 	}
-	logits, _, _, _, _ := t.forward(ctx)
+	logits, _, _, _, _, _ := t.forward(ctx)
 	row := logits[len(ctx)-1]
 	Normalize(row)
 	return row

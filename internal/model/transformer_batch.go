@@ -1,0 +1,138 @@
+package model
+
+import "math"
+
+// Packed-batch inference for the Transformer (DESIGN.md decision 6): the
+// whole batch of clamped contexts is packed into one [ΣT x dModel]
+// activation buffer, so every row-wise stage — layer norms, the QKV and
+// feed-forward projections, residual adds — runs as a single matrix
+// operation over all sequences at once, while causal attention loops within
+// each sequence's row segment (causality means there is no cross-sequence
+// math to share). Packing rather than padding wastes no compute on filler
+// positions. Only the final row of each sequence is projected to vocabulary
+// logits, since ScoreBatch needs just the next-token distribution — the
+// per-position vocab projection is the single most expensive stage of the
+// per-call path.
+
+// ScoreBatch implements LanguageModel with one packed forward pass over the
+// batch. Each output row is numerically identical to NextLogProbs on the
+// same context.
+func (t *Transformer) ScoreBatch(ctxs [][]Token) [][]float64 {
+	if len(ctxs) == 0 {
+		return nil
+	}
+	// Clamp and anchor exactly as NextLogProbs does.
+	seqs := make([][]Token, len(ctxs))
+	for i, ctx := range ctxs {
+		if len(ctx) >= t.cfg.MaxSeqLen {
+			ctx = ctx[len(ctx)-t.cfg.MaxSeqLen+1:]
+		}
+		if len(ctx) == 0 {
+			ctx = []Token{t.eosTok}
+		}
+		seqs[i] = ctx
+	}
+	// bounds[i]..bounds[i+1] delimit sequence i's rows in the packed buffer.
+	bounds := make([]int, len(seqs)+1)
+	for i, s := range seqs {
+		bounds[i+1] = bounds[i] + len(s)
+	}
+	x := zeros(bounds[len(seqs)], t.cfg.DModel)
+	for i, s := range seqs {
+		for p, tok := range s {
+			row := x[bounds[i]+p]
+			e, pe := t.wte[tok], t.wpe[p]
+			for j := range row {
+				row[j] = e[j] + pe[j]
+			}
+		}
+	}
+	h := x
+	for _, blk := range t.blks {
+		h = blk.inferPacked(h, bounds)
+	}
+	n, _, _ := t.lnF.forward(h)
+	out := make([][]float64, len(seqs))
+	for i := range seqs {
+		last := n[bounds[i+1]-1]
+		row := make([]float64, t.vocab)
+		for v := 0; v < t.vocab; v++ {
+			s := 0.0
+			e := t.wte[v]
+			for j := 0; j < t.cfg.DModel; j++ {
+				s += last[j] * e[j]
+			}
+			row[v] = s
+		}
+		Normalize(row)
+		out[i] = row
+	}
+	return out
+}
+
+// inferPacked runs the block over packed sequences without recording
+// backward caches. bounds delimits the sequences; attention is causal
+// within each segment and never crosses segment boundaries.
+func (b *block) inferPacked(x [][]float64, bounds []int) [][]float64 {
+	n1, _, _ := b.ln1.forward(x)
+	q := matmul(n1, b.wq.val, b.bq.val[0], b.dModel)
+	k := matmul(n1, b.wk.val, b.bk.val[0], b.dModel)
+	v := matmul(n1, b.wv.val, b.bv.val[0], b.dModel)
+
+	ctxv := zeros(len(x), b.dModel)
+	scale := 1 / math.Sqrt(float64(b.dHead))
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		for h := 0; h < b.nHeads; h++ {
+			off := h * b.dHead
+			for i := lo; i < hi; i++ {
+				row := make([]float64, i-lo+1)
+				maxv := math.Inf(-1)
+				for j := lo; j <= i; j++ {
+					sc := 0.0
+					for d := 0; d < b.dHead; d++ {
+						sc += q[i][off+d] * k[j][off+d]
+					}
+					sc *= scale
+					row[j-lo] = sc
+					if sc > maxv {
+						maxv = sc
+					}
+				}
+				z := 0.0
+				for j := range row {
+					row[j] = math.Exp(row[j] - maxv)
+					z += row[j]
+				}
+				for j := lo; j <= i; j++ {
+					w := row[j-lo] / z
+					for d := 0; d < b.dHead; d++ {
+						ctxv[i][off+d] += w * v[j][off+d]
+					}
+				}
+			}
+		}
+	}
+
+	attnOut := matmul(ctxv, b.wo.val, b.bo.val[0], b.dModel)
+	res1 := zeros(len(x), b.dModel)
+	for i := range res1 {
+		for j := range res1[i] {
+			res1[i][j] = x[i][j] + attnOut[i][j]
+		}
+	}
+	n2, _, _ := b.ln2.forward(res1)
+	ff1 := matmul(n2, b.wf1.val, b.bf1.val[0], b.dFF)
+	for i := range ff1 {
+		for j, vv := range ff1[i] {
+			ff1[i][j] = gelu(vv)
+		}
+	}
+	out := matmul(ff1, b.wf2.val, b.bf2.val[0], b.dModel)
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] += res1[i][j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package model
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+func batchTestModel(t *testing.T) (*Transformer, *tokenizer.BPE) {
+	t.Helper()
+	lines := []string{
+		"the cat sat on the mat",
+		"the dog ran in the park",
+		"the bird flew over the park",
+	}
+	tok := tokenizer.Train(lines, 60)
+	lm := TrainTransformer(lines, tok, TransformerConfig{
+		DModel: 16, NHeads: 2, NLayers: 2, DFF: 32, MaxSeqLen: 24, Epochs: 2, Seed: 3,
+	})
+	return lm, tok
+}
+
+// TestTransformerScoreBatchMatchesSerial checks the packed-batch forward is
+// numerically identical to per-context NextLogProbs, including the edge
+// cases the scalar path special-cases (empty context, window overflow).
+func TestTransformerScoreBatchMatchesSerial(t *testing.T) {
+	lm, tok := batchTestModel(t)
+	long := tok.Encode("the cat sat on the mat the dog ran in the park the bird flew over the park")
+	ctxs := [][]Token{
+		tok.Encode("the cat"),
+		tok.Encode("the dog ran"),
+		{},   // empty: anchored to EOS
+		long, // longer than the window: clamped
+		tok.Encode("the"),
+	}
+	got := lm.ScoreBatch(ctxs)
+	if len(got) != len(ctxs) {
+		t.Fatalf("ScoreBatch returned %d rows, want %d", len(got), len(ctxs))
+	}
+	for i, ctx := range ctxs {
+		want := lm.NextLogProbs(ctx)
+		for v := range want {
+			if math.Abs(got[i][v]-want[v]) > 1e-12 {
+				t.Fatalf("row %d token %d: batch %g vs serial %g", i, v, got[i][v], want[v])
+			}
+		}
+	}
+}
+
+// TestTransformerConcurrentInference checks inference is pure: concurrent
+// NextLogProbs and ScoreBatch calls (as a parallel device issues them) must
+// be race-free and deterministic. Run with -race.
+func TestTransformerConcurrentInference(t *testing.T) {
+	lm, tok := batchTestModel(t)
+	ctx := tok.Encode("the cat sat")
+	want := lm.NextLogProbs(ctx)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got := lm.ScoreBatch([][]Token{ctx, ctx})[1]
+				for v := range want {
+					if got[v] != want[v] {
+						t.Errorf("concurrent inference diverged at token %d", v)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -77,7 +77,7 @@ func TestTransformerGradientCheck(t *testing.T) {
 	seq := []Token{1, 2, 0, 3, 4}
 
 	lossOf := func() float64 {
-		logits, _, _, _, _ := m.forward(seq[:len(seq)-1])
+		logits, _, _, _, _, _ := m.forward(seq[:len(seq)-1])
 		loss := 0.0
 		for i := 0; i+1 < len(seq); i++ {
 			Normalize(logits[i])

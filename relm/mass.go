@@ -63,10 +63,13 @@ func Mass(m *Model, q SearchQuery, opts MassOptions) (*MassEstimate, error) {
 		return nil, err
 	}
 	eq := &engine.Query{
-		Rule:      buildRule(q),
-		MaxTokens: q.MaxTokens,
-		Pattern:   comp.token,
-		Filter:    comp.filter,
+		Rule:        buildRule(q),
+		MaxTokens:   q.MaxTokens,
+		BatchExpand: q.BatchExpand,
+		Parallelism: q.Parallelism,
+		Context:     q.Context,
+		Pattern:     comp.token,
+		Filter:      comp.filter,
 	}
 	if q.Query.Prefix != "" {
 		prefixChar, perr := regex.Compile(q.Query.Prefix)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/automaton"
 	"repro/internal/compiler"
+	"repro/internal/engine"
 	"repro/internal/regex"
 )
 
@@ -107,6 +108,16 @@ type Plan struct {
 	PrefixStrings int64
 	// Strategy echoes the traversal.
 	Strategy SearchStrategy
+	// BatchSize is the effective frontier batch per device round: the
+	// query's BatchExpand, or the device batch limit when unset (DESIGN.md
+	// decision 6).
+	BatchSize int
+	// Parallelism is the effective engine worker-pool width (1 when the
+	// query leaves it unset).
+	Parallelism int
+	// DeviceWorkers is the device-side scoring pool width configured via
+	// ModelOptions.Parallelism.
+	DeviceWorkers int
 	// Warnings lists conditions likely to make the query slow or empty.
 	Warnings []string
 }
@@ -122,6 +133,8 @@ func (p *Plan) String() string {
 	fmt.Fprintf(&b, "  tokenization:     %s\n", tokenizationName(p.Tokenization, p.ResolvedCanonical, p.DynamicFilter))
 	fmt.Fprintf(&b, "  prefix strings:   %s\n", countStr(p.PrefixStrings))
 	fmt.Fprintf(&b, "  traversal:        %s\n", strategyName(p.Strategy))
+	fmt.Fprintf(&b, "  execution:        batch %d, %d expansion workers, %d device workers\n",
+		p.BatchSize, p.Parallelism, p.DeviceWorkers)
 	for _, w := range p.Warnings {
 		fmt.Fprintf(&b, "  warning: %s\n", w)
 	}
@@ -188,6 +201,9 @@ func Explain(m *Model, q SearchQuery) (*Plan, error) {
 		ResolvedCanonical: comp.resolved,
 		DynamicFilter:     comp.filter != nil,
 		Strategy:          q.Strategy,
+		BatchSize:         engine.EffectiveBatch(m.Dev, q.BatchExpand),
+		Parallelism:       engine.EffectiveParallelism(q.Parallelism),
+		DeviceWorkers:     m.Dev.Workers(),
 	}
 	p.LanguageSize = comp.char.LanguageSize(q.PatternMaxLen)
 	maxToks := q.MaxTokens

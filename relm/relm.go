@@ -28,6 +28,7 @@
 package relm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -136,6 +137,17 @@ type SearchQuery struct {
 	// order is best-first regardless; batching only amortizes device
 	// dispatch.
 	BatchExpand int
+	// Parallelism bounds the engine-side worker pool that rule-filters and
+	// expands each scored batch (0 or 1: single-threaded expansion).
+	// Deterministic traversals emit the same results at any setting; random
+	// sampling draws reproducibly per (Seed, Parallelism) pair. Pair with
+	// ModelOptions.Parallelism, which parallelizes the scoring itself
+	// (DESIGN.md decision 6).
+	Parallelism int
+	// Context, when non-nil, cancels an in-progress traversal: Next returns
+	// the context's error once it is done. Use it to put deadlines on
+	// exploratory queries over unbounded languages.
+	Context context.Context
 	// PrefixZeroCost disables the §3.3 prefix-priority heuristic, giving
 	// every prefix cost zero (the paper's rejected first design — higher
 	// first-result latency on broad prefixes). For ablation use.
@@ -173,7 +185,8 @@ type Model struct {
 	Dev *device.Device
 }
 
-// ModelOptions configures device simulation and caching.
+// ModelOptions configures device simulation, caching, and scoring
+// parallelism.
 type ModelOptions struct {
 	// Latency prices simulated batches (zero value: device defaults).
 	Latency device.LatencyModel
@@ -181,6 +194,11 @@ type ModelOptions struct {
 	MaxBatch int
 	// CacheSize bounds the logit LRU cache (0: 8192; negative: no cache).
 	CacheSize int
+	// Parallelism is the device worker-pool width: each dispatched batch is
+	// sharded across this many goroutines for scoring (0 or 1: serial).
+	// The logit cache is single-flight, so concurrent shards never compute
+	// the same context twice (DESIGN.md decision 6).
+	Parallelism int
 }
 
 // NewModel wraps a language model and tokenizer for querying.
@@ -195,10 +213,14 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 	if opts.CacheSize > 0 {
 		wrapped = cache.New(lm, opts.CacheSize)
 	}
+	dev := device.New(wrapped, opts.Latency, opts.MaxBatch)
+	if opts.Parallelism > 1 {
+		dev.SetWorkers(opts.Parallelism)
+	}
 	return &Model{
 		LM:  lm,
 		Tok: tok,
-		Dev: device.New(wrapped, opts.Latency, opts.MaxBatch),
+		Dev: dev,
 	}
 }
 
@@ -310,6 +332,8 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 		MaxTokens:      q.MaxTokens,
 		MaxNodes:       q.MaxNodes,
 		BatchExpand:    q.BatchExpand,
+		Parallelism:    q.Parallelism,
+		Context:        q.Context,
 		PrefixZeroCost: q.PrefixZeroCost,
 		Pattern:        comp.token,
 		Filter:         comp.filter,

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/textio"
 )
@@ -38,6 +39,11 @@ func main() {
 	parFlag := flag.Int("parallelism", runtime.NumCPU(), "device worker-pool width for batch scoring (1 = serial)")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	if err := engine.ValidateParallelism(*parFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "relm-bench: -parallelism:", err)
+		os.Exit(2)
+	}
 
 	table := registry()
 	if *listFlag {

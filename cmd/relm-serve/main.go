@@ -1,0 +1,117 @@
+// Command relm-serve runs the ReLM query service: it loads one or more
+// models into a shared registry and serves streaming regex queries over
+// HTTP — the operable form of the ROADMAP's "serve heavy traffic" north
+// star (DESIGN.md decision 8).
+//
+// Usage:
+//
+//	relm-serve                                   # synthetic quick-scale models "large" and "small"
+//	relm-serve -model prod=./artifacts           # artifacts from relm-train, named "prod"
+//	relm-serve -addr :8080 -max-concurrent 8 -parallelism 4
+//
+// Endpoints:
+//
+//	POST /v1/search   {"model":"small","pattern":" ((cat)|(dog))","prefix":"The","max_matches":5}
+//	GET  /v1/stats
+//	GET  /v1/models
+//	GET  /healthz
+//
+// Matches stream back incrementally as NDJSON (default) or SSE when the
+// request sends Accept: text/event-stream. Every query runs under a
+// deadline and an admission limit; a dropped connection cancels its
+// traversal. All models share one persistent scoring pool and each model's
+// queries share one logit cache with per-query hit attribution in
+// /v1/stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/relm"
+)
+
+// modelFlags collects repeated -model name=dir values.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	var models modelFlags
+	flag.Var(&models, "model", "name=dir pair loading relm-train artifacts (repeatable); default: synthetic quick-scale models \"large\" and \"small\"")
+	maxConcurrent := flag.Int("max-concurrent", 4, "admission limit: queries in flight before 429")
+	maxMatches := flag.Int("max-matches", 1000, "hard cap on any query's match budget")
+	defaultMatches := flag.Int("default-matches", 10, "match budget when a request omits max_matches")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "hard cap on any query's deadline")
+	defaultDeadline := flag.Duration("default-deadline", 10*time.Second, "deadline when a request omits deadline_ms")
+	cacheSize := flag.Int("cache", 8192, "shared logit cache entries per model (negative disables)")
+	batch := flag.Int("batch", 0, "device batch limit per model (0 = default 64)")
+	par := flag.Int("parallelism", runtime.NumCPU(), "persistent scoring-pool width shared by all models (>= 1)")
+	flag.Parse()
+
+	if err := engine.ValidateBatch(*batch); err != nil {
+		fatal(err)
+	}
+	if err := engine.ValidateParallelism(*par); err != nil {
+		fatal(err)
+	}
+
+	pool := device.NewPool(*par)
+	defer pool.Close()
+	opts := relm.ModelOptions{MaxBatch: *batch, CacheSize: *cacheSize, Pool: pool}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxMatches:      *maxMatches,
+		DefaultMatches:  *defaultMatches,
+		MaxDeadline:     *maxDeadline,
+		DefaultDeadline: *defaultDeadline,
+	})
+
+	if len(models) == 0 {
+		fmt.Println("no -model flags: training synthetic models (quick scale)...")
+		env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+		// Rebuild through NewModel so the registry entries share the pool
+		// and carry the serve-time cache/batch settings.
+		srv.AddModel("large", relm.NewModel(env.Large.LM, env.Tok, opts))
+		srv.AddModel("small", relm.NewModel(env.Small.LM, env.Tok, opts))
+		fmt.Println("registered models: large, small")
+	}
+	for _, spec := range models {
+		name, dir, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || dir == "" {
+			fatal(fmt.Errorf("bad -model %q, want name=dir", spec))
+		}
+		m, arch, err := relm.LoadArtifacts(dir, opts)
+		if err != nil {
+			fatal(fmt.Errorf("load %s: %w", name, err))
+		}
+		srv.AddModel(name, m)
+		fmt.Printf("registered %s model %q from %s\n", arch, name, dir)
+	}
+
+	fmt.Printf("relm-serve listening on %s (max %d concurrent queries, pool width %d)\n",
+		*addr, *maxConcurrent, *par)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "relm-serve:", err)
+	os.Exit(1)
+}

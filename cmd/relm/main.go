@@ -18,16 +18,13 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/model"
-	"repro/internal/tokenizer"
 	"repro/relm"
 )
 
@@ -61,15 +58,29 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	// The engine's Effective* helpers are the single clamping point for the
+	// execution knobs; here explicit nonsense (negative batch, zero or
+	// negative worker pool) is an input error, not something to clamp
+	// silently.
+	if err := engine.ValidateBatch(*batch); err != nil {
+		fmt.Fprintln(os.Stderr, "relm: -batch:", err)
+		os.Exit(2)
+	}
+	if err := engine.ValidateParallelism(*par); err != nil {
+		fmt.Fprintln(os.Stderr, "relm: -parallelism:", err)
+		os.Exit(2)
+	}
 
 	var m *relm.Model
 	if *artifacts != "" {
+		var arch string
 		var err error
-		m, err = loadArtifacts(*artifacts, *par)
+		m, arch, err = relm.LoadArtifacts(*artifacts, relm.ModelOptions{Parallelism: *par})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "relm:", err)
 			os.Exit(1)
 		}
+		fmt.Printf("loaded %s model from %s\n", arch, *artifacts)
 	} else {
 		fmt.Println("training synthetic model (quick scale)...")
 		env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick, Parallelism: *par})
@@ -136,33 +147,4 @@ func main() {
 	ds := m.Dev.Stats()
 	fmt.Printf("virtual device time: %v   utilization: %.0f%%   batches: %d\n",
 		ds.Clock, ds.Utilization*100, ds.Batches)
-}
-
-// loadArtifacts reads the tokenizer and model JSON written by relm-train,
-// detecting the model architecture by trying each loader.
-func loadArtifacts(dir string, parallelism int) (*relm.Model, error) {
-	tf, err := os.Open(filepath.Join(dir, "tokenizer.json"))
-	if err != nil {
-		return nil, err
-	}
-	defer tf.Close()
-	tok, err := tokenizer.LoadBPE(tf)
-	if err != nil {
-		return nil, fmt.Errorf("load tokenizer: %w", err)
-	}
-	raw, err := os.ReadFile(filepath.Join(dir, "model.json"))
-	if err != nil {
-		return nil, err
-	}
-	var lm model.LanguageModel
-	if ng, nerr := model.LoadNGram(bytes.NewReader(raw)); nerr == nil {
-		lm = ng
-		fmt.Printf("loaded n-gram model from %s\n", dir)
-	} else if tr, terr := model.LoadTransformer(bytes.NewReader(raw)); terr == nil {
-		lm = tr
-		fmt.Printf("loaded transformer model from %s\n", dir)
-	} else {
-		return nil, fmt.Errorf("model.json is neither an n-gram (%v) nor a transformer (%v)", nerr, terr)
-	}
-	return relm.NewModel(lm, tok, relm.ModelOptions{Parallelism: parallelism}), nil
 }

@@ -15,6 +15,7 @@ package cache
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -84,6 +85,22 @@ func (c *LM) NextLogProbs(ctx []model.Token) []float64 {
 // computations already in flight on other goroutines — are forwarded to the
 // inner model in a single batched call.
 func (c *LM) ScoreBatch(ctxs [][]model.Token) [][]float64 {
+	out, _ := c.scoreBatch(ctxs)
+	return out
+}
+
+// BatchStats breaks one ScoreBatch call down by outcome: rows answered from
+// the LRU (Hits), rows this call computed (Misses), and rows that parked on
+// a computation already in flight — on another goroutine or earlier in the
+// same batch (Flights). Hits+Misses+Flights equals the number of rows.
+type BatchStats struct {
+	Hits, Misses, Flights int64
+}
+
+// scoreBatch is the shared implementation; it reports the per-call outcome
+// breakdown so scopes can attribute shared-cache behavior to one client.
+func (c *LM) scoreBatch(ctxs [][]model.Token) ([][]float64, BatchStats) {
+	var bs BatchStats
 	out := make([][]float64, len(ctxs))
 
 	// Classification under one lock pass: each row is a hit, a wait on an
@@ -107,6 +124,7 @@ func (c *LM) ScoreBatch(ctxs [][]model.Token) [][]float64 {
 		if el, ok := c.entries[key]; ok {
 			c.order.MoveToFront(el)
 			c.hits++
+			bs.Hits++
 			out[i] = copyRow(el.Value.(*entry).lp)
 			continue
 		}
@@ -114,10 +132,12 @@ func (c *LM) ScoreBatch(ctxs [][]model.Token) [][]float64 {
 			// Single-flight: someone (possibly an earlier row of this very
 			// batch) is computing this context; park and reuse.
 			c.flights++
+			bs.Flights++
 			waits = append(waits, waitRef{idx: i, f: f})
 			continue
 		}
 		c.misses++
+		bs.Misses++
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
 		owned = append(owned, ownRef{key: key, f: f, idx: i})
@@ -126,8 +146,26 @@ func (c *LM) ScoreBatch(ctxs [][]model.Token) [][]float64 {
 	c.mu.Unlock()
 
 	if len(owned) > 0 {
-		// One batched inner call for all unique misses.
-		lps := c.inner.ScoreBatch(missCtxs)
+		// One batched inner call for all unique misses. If the inner model
+		// panics (e.g. mismatched artifacts), the owned flights must still
+		// be resolved and removed before the panic propagates — otherwise
+		// the keys wedge forever and every future request for them blocks
+		// on a done channel nobody will close.
+		lps, perr := func() (out [][]float64, perr any) {
+			defer func() { perr = recover() }()
+			return c.inner.ScoreBatch(missCtxs), nil
+		}()
+		if perr != nil {
+			c.mu.Lock()
+			for _, o := range owned {
+				delete(c.inflight, o.key)
+			}
+			c.mu.Unlock()
+			for _, o := range owned {
+				close(o.f.done) // waiters see lp == nil and fail loudly
+			}
+			panic(perr)
+		}
 		c.mu.Lock()
 		for j, o := range owned {
 			o.f.lp = lps[j]
@@ -150,9 +188,12 @@ func (c *LM) ScoreBatch(ctxs [][]model.Token) [][]float64 {
 	}
 	for _, w := range waits {
 		<-w.f.done
+		if w.f.lp == nil {
+			panic("cache: in-flight logit computation failed on its owner")
+		}
 		out[w.idx] = copyRow(w.f.lp)
 	}
-	return out
+	return out, bs
 }
 
 func copyRow(lp []float64) []float64 {
@@ -184,4 +225,67 @@ func (c *LM) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// ScopeStats is a snapshot of one scope's share of shared-cache activity.
+type ScopeStats struct {
+	// Hits are rows this scope answered from entries already in the LRU —
+	// including entries computed by *other* scopes, which is exactly the
+	// cross-query sharing a server wants to observe.
+	Hits int64
+	// Misses are rows this scope computed (and published for everyone).
+	Misses int64
+	// Flights are rows this scope reused from a computation another
+	// goroutine (possibly another scope) had in flight.
+	Flights int64
+}
+
+// Scope is a per-client view of a shared cache: it forwards every request to
+// the same LRU and single-flight table, but tallies hits/misses/flights for
+// this client alone. A query-serving layer gives each query its own Scope so
+// /v1/stats can attribute shared-cache wins to individual queries while the
+// underlying cache deduplicates work across all of them (DESIGN.md
+// decision 8). Scopes are safe for concurrent use and cost two atomics per
+// batch beyond the shared path.
+type Scope struct {
+	lm      *LM
+	hits    atomic.Int64
+	misses  atomic.Int64
+	flights atomic.Int64
+}
+
+// NewScope returns a fresh attribution view over the shared cache.
+func (c *LM) NewScope() *Scope { return &Scope{lm: c} }
+
+// VocabSize implements model.LanguageModel.
+func (s *Scope) VocabSize() int { return s.lm.VocabSize() }
+
+// EOS implements model.LanguageModel.
+func (s *Scope) EOS() model.Token { return s.lm.EOS() }
+
+// MaxSeqLen implements model.LanguageModel.
+func (s *Scope) MaxSeqLen() int { return s.lm.MaxSeqLen() }
+
+// NextLogProbs implements model.LanguageModel.
+func (s *Scope) NextLogProbs(ctx []model.Token) []float64 {
+	return s.ScoreBatch([][]model.Token{ctx})[0]
+}
+
+// ScoreBatch implements model.LanguageModel via the shared cache, tallying
+// this scope's share of the outcome.
+func (s *Scope) ScoreBatch(ctxs [][]model.Token) [][]float64 {
+	out, bs := s.lm.scoreBatch(ctxs)
+	s.hits.Add(bs.Hits)
+	s.misses.Add(bs.Misses)
+	s.flights.Add(bs.Flights)
+	return out
+}
+
+// Stats snapshots the scope's attribution counters.
+func (s *Scope) Stats() ScopeStats {
+	return ScopeStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Flights: s.flights.Load(),
+	}
 }

@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func scopeCtxs(n int) [][]model.Token {
+	out := make([][]model.Token, n)
+	for i := range out {
+		out[i] = []model.Token{model.Token(i)}
+	}
+	return out
+}
+
+func TestScopeAttributesSequential(t *testing.T) {
+	inner := &countingModel{LanguageModel: &model.Uniform{Vocab: 16, EOSTok: 15, SeqLen: 8}}
+	c := New(inner, 128)
+	ctxs := scopeCtxs(10)
+
+	a := c.NewScope()
+	a.ScoreBatch(ctxs)
+	as := a.Stats()
+	if as.Misses != 10 || as.Hits != 0 {
+		t.Fatalf("cold scope stats = %+v, want 10 misses", as)
+	}
+
+	b := c.NewScope()
+	b.ScoreBatch(ctxs)
+	bs := b.Stats()
+	if bs.Hits != 10 || bs.Misses != 0 {
+		t.Errorf("warm scope stats = %+v, want 10 hits", bs)
+	}
+	// The warm scope's hits came from entries the cold scope computed —
+	// cross-scope attribution over one shared LRU.
+	if hits, misses := c.Stats(); hits != 10 || misses != 10 {
+		t.Errorf("shared totals = %d hits / %d misses, want 10/10", hits, misses)
+	}
+	if inner.calls() != 10 {
+		t.Errorf("inner model computed %d rows, want 10", inner.calls())
+	}
+}
+
+func TestScopeOutcomesPartitionRows(t *testing.T) {
+	// Under concurrency every row is exactly one of hit, miss, or flight,
+	// and the single-flight layer guarantees each unique context is
+	// computed once across all scopes.
+	inner := &countingModel{LanguageModel: &model.Uniform{Vocab: 16, EOSTok: 15, SeqLen: 8}}
+	c := New(inner, 256)
+	ctxs := scopeCtxs(32)
+
+	const scopes = 8
+	all := make([]*Scope, scopes)
+	var wg sync.WaitGroup
+	for i := range all {
+		all[i] = c.NewScope()
+		wg.Add(1)
+		go func(s *Scope) {
+			defer wg.Done()
+			s.ScoreBatch(ctxs)
+		}(all[i])
+	}
+	wg.Wait()
+
+	var hits, misses, flights int64
+	for _, s := range all {
+		st := s.Stats()
+		if st.Hits+st.Misses+st.Flights != int64(len(ctxs)) {
+			t.Errorf("scope outcomes %+v don't partition %d rows", st, len(ctxs))
+		}
+		hits += st.Hits
+		misses += st.Misses
+		flights += st.Flights
+	}
+	if misses != int64(len(ctxs)) {
+		t.Errorf("unique contexts computed %d times, want exactly %d (single-flight)", misses, len(ctxs))
+	}
+	if hits+flights != int64((scopes-1)*len(ctxs)) {
+		t.Errorf("hits+flights = %d, want %d", hits+flights, (scopes-1)*len(ctxs))
+	}
+	if inner.calls() != int64(len(ctxs)) {
+		t.Errorf("inner model computed %d rows, want %d", inner.calls(), len(ctxs))
+	}
+}
+
+// panickyModel fails its first ScoreBatch, then recovers.
+type panickyModel struct {
+	model.LanguageModel
+	mu     sync.Mutex
+	failed bool
+}
+
+func (m *panickyModel) ScoreBatch(ctxs [][]model.Token) [][]float64 {
+	m.mu.Lock()
+	first := !m.failed
+	m.failed = true
+	m.mu.Unlock()
+	if first {
+		panic("scripted model failure")
+	}
+	return m.LanguageModel.ScoreBatch(ctxs)
+}
+
+// TestInnerPanicDoesNotWedgeFlights: a panicking inner model must not leave
+// in-flight entries behind — the same context must be computable again once
+// the model behaves.
+func TestInnerPanicDoesNotWedgeFlights(t *testing.T) {
+	inner := &panickyModel{LanguageModel: &model.Uniform{Vocab: 16, EOSTok: 15, SeqLen: 8}}
+	c := New(inner, 64)
+	ctxs := scopeCtxs(4)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("first batch should propagate the model panic")
+			}
+		}()
+		c.ScoreBatch(ctxs)
+	}()
+
+	// The keys must not be wedged: a retry computes them normally instead
+	// of blocking forever on a dead flight.
+	done := make(chan [][]float64, 1)
+	go func() { done <- c.ScoreBatch(ctxs) }()
+	select {
+	case rows := <-done:
+		if len(rows) != 4 || rows[0] == nil {
+			t.Errorf("retry returned %d rows", len(rows))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry blocked on a wedged in-flight entry")
+	}
+}
+
+// countingModel counts rows the inner model actually scored.
+type countingModel struct {
+	model.LanguageModel
+	mu sync.Mutex
+	n  int64
+}
+
+func (m *countingModel) ScoreBatch(ctxs [][]model.Token) [][]float64 {
+	m.mu.Lock()
+	m.n += int64(len(ctxs))
+	m.mu.Unlock()
+	return m.LanguageModel.ScoreBatch(ctxs)
+}
+
+func (m *countingModel) calls() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}

@@ -5,6 +5,13 @@
 // clock and meters busy time, so experiments can report throughput and
 // utilization figures analogous to the paper's nvidia-smi measurements —
 // without any wall-clock dependence, keeping benches deterministic.
+//
+// A Device is a *view*: the model it scores with plus a shared accounting
+// core (clock, counters, worker pool). WithModel derives a second view over
+// the same core scoring through a different model — a query-serving layer
+// uses this to give each query a cache-attribution scope while all queries
+// share one device's clock, batch limits, and workers (DESIGN.md
+// decision 8).
 package device
 
 import (
@@ -40,19 +47,26 @@ func (lm LatencyModel) Cost(sequences, totalTokens int) time.Duration {
 		time.Duration(totalTokens)*lm.PerToken
 }
 
-// Device executes language-model batches against a virtual clock.
-type Device struct {
-	lm       model.LanguageModel
+// core is the accounting state shared by every view of one device: the
+// virtual clock, activity counters, and the host-side scoring workers.
+type core struct {
 	latency  LatencyModel
 	maxBatch int
-	workers  int
 
 	mu        sync.Mutex
+	workers   int
+	pool      *Pool
 	clock     time.Duration // virtual time elapsed
 	busy      time.Duration // virtual time spent executing
 	batches   int64
 	sequences int64
 	tokens    int64
+}
+
+// Device executes language-model batches against a virtual clock.
+type Device struct {
+	lm model.LanguageModel
+	c  *core
 }
 
 // New creates a device for the given model. maxBatch bounds batch size
@@ -61,7 +75,15 @@ func New(lm model.LanguageModel, latency LatencyModel, maxBatch int) *Device {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
-	return &Device{lm: lm, latency: latency, maxBatch: maxBatch, workers: 1}
+	return &Device{lm: lm, c: &core{latency: latency, maxBatch: maxBatch, workers: 1}}
+}
+
+// WithModel returns a view of this device that scores through lm but shares
+// the clock, counters, batch limit, and worker pool. Use it to thread a
+// per-query model wrapper (e.g. a cache attribution scope) through a shared
+// device: work done via any view is billed to the one virtual accelerator.
+func (d *Device) WithModel(lm model.LanguageModel) *Device {
+	return &Device{lm: lm, c: d.c}
 }
 
 // SetWorkers sets the host worker-pool width used to execute each dispatched
@@ -69,43 +91,63 @@ func New(lm model.LanguageModel, latency LatencyModel, maxBatch int) *Device {
 // it prices the simulated accelerator, which executes a dispatched batch as
 // one unit — but wall-clock scoring of a chunk is sharded across n
 // goroutines, modelling the accelerator's internal parallelism on the host
-// CPU. n <= 1 keeps execution on the calling goroutine.
+// CPU. n <= 1 keeps execution on the calling goroutine. When a persistent
+// Pool is attached (SetPool), the pool's width wins and SetWorkers only
+// records the preference.
 func (d *Device) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
-	d.mu.Lock()
-	d.workers = n
-	d.mu.Unlock()
+	d.c.mu.Lock()
+	d.c.workers = n
+	d.c.mu.Unlock()
 }
 
-// Workers reports the worker-pool width.
+// SetPool attaches a persistent worker pool, shared with any other devices
+// the caller attaches it to. A long-running server sizes one pool for the
+// whole process instead of letting every query spin up its own transient
+// goroutines (DESIGN.md decision 8). nil detaches.
+func (d *Device) SetPool(p *Pool) {
+	d.c.mu.Lock()
+	d.c.pool = p
+	d.c.mu.Unlock()
+}
+
+// Workers reports the effective worker width (the attached pool's size, or
+// the SetWorkers value).
 func (d *Device) Workers() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.workers
+	d.c.mu.Lock()
+	defer d.c.mu.Unlock()
+	if d.c.pool != nil {
+		return d.c.pool.Size()
+	}
+	return d.c.workers
 }
 
-// Model returns the underlying language model.
+// Model returns this view's language model.
 func (d *Device) Model() model.LanguageModel { return d.lm }
 
 // MaxBatch reports the device batch-size limit.
-func (d *Device) MaxBatch() int { return d.maxBatch }
+func (d *Device) MaxBatch() int { return d.c.maxBatch }
 
 // Forward runs one batch of contexts and returns their next-token log-prob
 // vectors, charging the latency model. Batches larger than MaxBatch are
 // split internally. Scoring goes through the model's ScoreBatch path, so a
 // batched substrate (the packed Transformer forward, the miss-forwarding
-// cache) sees the whole chunk at once; with SetWorkers > 1 each chunk is
-// additionally sharded across a worker pool. Forward is safe for concurrent
-// use.
+// cache) sees the whole chunk at once; with workers > 1 each chunk is
+// additionally sharded across the worker pool. Forward is safe for
+// concurrent use, including across views.
 func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 	out := make([][]float64, len(ctxs))
-	d.mu.Lock()
-	workers := d.workers
-	d.mu.Unlock()
-	for lo := 0; lo < len(ctxs); lo += d.maxBatch {
-		hi := lo + d.maxBatch
+	d.c.mu.Lock()
+	workers := d.c.workers
+	pool := d.c.pool
+	d.c.mu.Unlock()
+	if pool != nil {
+		workers = pool.Size()
+	}
+	for lo := 0; lo < len(ctxs); lo += d.c.maxBatch {
+		hi := lo + d.c.maxBatch
 		if hi > len(ctxs) {
 			hi = len(ctxs)
 		}
@@ -114,15 +156,15 @@ func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 		for _, c := range chunk {
 			tokens += len(c)
 		}
-		cost := d.latency.Cost(len(chunk), tokens)
-		d.mu.Lock()
-		d.clock += cost
-		d.busy += cost
-		d.batches++
-		d.sequences += int64(len(chunk))
-		d.tokens += int64(tokens)
-		d.mu.Unlock()
-		d.scoreChunk(chunk, out[lo:hi], workers)
+		cost := d.c.latency.Cost(len(chunk), tokens)
+		d.c.mu.Lock()
+		d.c.clock += cost
+		d.c.busy += cost
+		d.c.batches++
+		d.c.sequences += int64(len(chunk))
+		d.c.tokens += int64(tokens)
+		d.c.mu.Unlock()
+		d.scoreChunk(chunk, out[lo:hi], workers, pool)
 	}
 	return out
 }
@@ -130,7 +172,7 @@ func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 // scoreChunk fills res with the chunk's log-prob rows, sharding across the
 // worker pool. Workers write disjoint index ranges, so the merge needs no
 // locking.
-func (d *Device) scoreChunk(chunk [][]model.Token, res [][]float64, workers int) {
+func (d *Device) scoreChunk(chunk [][]model.Token, res [][]float64, workers int, pool *Pool) {
 	if workers > len(chunk) {
 		workers = len(chunk)
 	}
@@ -138,18 +180,28 @@ func (d *Device) scoreChunk(chunk [][]model.Token, res [][]float64, workers int)
 		copy(res, d.lm.ScoreBatch(chunk))
 		return
 	}
-	var wg sync.WaitGroup
 	per := (len(chunk) + workers - 1) / workers
+	var shards []func()
 	for lo := 0; lo < len(chunk); lo += per {
-		hi := lo + per
+		lo, hi := lo, lo+per
 		if hi > len(chunk) {
 			hi = len(chunk)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		shards = append(shards, func() {
 			copy(res[lo:hi], d.lm.ScoreBatch(chunk[lo:hi]))
-		}(lo, hi)
+		})
+	}
+	if pool != nil {
+		pool.Run(shards)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, shard := range shards {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(shard)
 	}
 	wg.Wait()
 }
@@ -158,16 +210,16 @@ func (d *Device) scoreChunk(chunk [][]model.Token, res [][]float64, workers int)
 // (graph bookkeeping, result verification) during which the device sits
 // unused. Utilization drops accordingly.
 func (d *Device) Idle(dt time.Duration) {
-	d.mu.Lock()
-	d.clock += dt
-	d.mu.Unlock()
+	d.c.mu.Lock()
+	d.c.clock += dt
+	d.c.mu.Unlock()
 }
 
 // Clock returns the current virtual time.
 func (d *Device) Clock() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.clock
+	d.c.mu.Lock()
+	defer d.c.mu.Unlock()
+	return d.c.clock
 }
 
 // Stats summarizes device activity.
@@ -180,28 +232,28 @@ type Stats struct {
 	Tokens      int64
 }
 
-// Stats returns a snapshot of the device counters.
+// Stats returns a snapshot of the device counters (shared across views).
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.c.mu.Lock()
+	defer d.c.mu.Unlock()
 	util := 0.0
-	if d.clock > 0 {
-		util = float64(d.busy) / float64(d.clock)
+	if d.c.clock > 0 {
+		util = float64(d.c.busy) / float64(d.c.clock)
 	}
 	return Stats{
-		Clock:       d.clock,
-		Busy:        d.busy,
+		Clock:       d.c.clock,
+		Busy:        d.c.busy,
 		Utilization: util,
-		Batches:     d.batches,
-		Sequences:   d.sequences,
-		Tokens:      d.tokens,
+		Batches:     d.c.batches,
+		Sequences:   d.c.sequences,
+		Tokens:      d.c.tokens,
 	}
 }
 
 // Reset zeroes the clock and counters.
 func (d *Device) Reset() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.clock, d.busy = 0, 0
-	d.batches, d.sequences, d.tokens = 0, 0, 0
+	d.c.mu.Lock()
+	defer d.c.mu.Unlock()
+	d.c.clock, d.c.busy = 0, 0
+	d.c.batches, d.c.sequences, d.c.tokens = 0, 0, 0
 }

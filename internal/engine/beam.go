@@ -37,15 +37,16 @@ func Beam(dev *device.Device, q *Query, opts BeamOptions) Stream {
 }
 
 type beamStream struct {
-	dev     *device.Device
-	q       *Query
-	opts    BeamOptions
-	beam    []*node
-	done    []*node // completed matches, unsorted until drain
-	emitted int
-	ran     bool
-	err     error // cancellation observed mid-run
-	stats   counters
+	dev      *device.Device
+	q        *Query
+	opts     BeamOptions
+	beam     []*node
+	done     []*node // completed matches, unsorted until drain
+	emitted  int
+	ran      bool
+	err      error // cancellation observed mid-run
+	finished error // terminal state after drain/cancel
+	stats    counters
 }
 
 func (s *beamStream) init() {
@@ -207,15 +208,21 @@ func (s *beamStream) expandHypothesis(n *node, lp []float64) beamSlot {
 }
 
 func (s *beamStream) Next() (*Result, error) {
+	if s.finished != nil {
+		return nil, s.finished
+	}
+	if err := s.q.Context.Err(); err != nil {
+		return nil, s.finish(err)
+	}
 	if !s.ran {
 		s.ran = true
 		s.run()
 	}
 	if s.err != nil {
-		return nil, s.err
+		return nil, s.finish(s.err)
 	}
 	if s.emitted >= len(s.done) {
-		return nil, ErrExhausted
+		return nil, s.finish(ErrExhausted)
 	}
 	n := s.done[s.emitted]
 	s.emitted++
@@ -226,6 +233,20 @@ func (s *beamStream) Next() (*Result, error) {
 		LogProb:       -n.cost,
 		PrefixLogProb: n.prefLogP,
 	}, nil
+}
+
+// finish records the terminal error and releases the derived context.
+func (s *beamStream) finish(err error) error {
+	s.finished = err
+	s.q.cancel()
+	return err
+}
+
+// Close implements Stream. The beam buffers completed matches before the
+// first Next; Close discards the remainder — a closed stream never emits.
+func (s *beamStream) Close() error {
+	s.q.cancel()
+	return nil
 }
 
 func (s *beamStream) Stats() Stats { return s.stats.snapshot() }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 
 	"repro/internal/decoding"
 	"repro/internal/device"
@@ -24,10 +25,13 @@ type dijkstraStream struct {
 	dev   *device.Device
 	q     *Query
 	heap  nodeHeap
+	done  error // terminal state: set once the stream has ended for good
 	stats counters
 }
 
 // normalizeQuery fills defaults; a missing prefix set means one empty prefix.
+// The caller's context is wrapped in a cancelable child so Stream.Close can
+// stop the traversal independently of the caller's own cancellation.
 func normalizeQuery(dev *device.Device, q *Query) *Query {
 	cp := *q
 	if len(cp.Prefixes) == 0 {
@@ -40,7 +44,9 @@ func normalizeQuery(dev *device.Device, q *Query) *Query {
 		cp.MaxNodes = 1 << 20
 	}
 	cp.Parallelism = EffectiveParallelism(cp.Parallelism)
-	cp.Context = queryContext(&cp)
+	ctx, cancel := context.WithCancel(queryContext(&cp))
+	cp.Context = ctx
+	cp.cancel = cancel
 	return &cp
 }
 
@@ -89,10 +95,13 @@ func (s *dijkstraStream) init() {
 // the heap in batch order, so the emitted sequence is identical at any
 // worker count (DESIGN.md decision 6).
 func (s *dijkstraStream) Next() (*Result, error) {
+	if s.done != nil {
+		return nil, s.done
+	}
 	batchSize := EffectiveBatch(s.dev, s.q.BatchExpand)
 	for s.heap.Len() > 0 {
 		if err := s.q.Context.Err(); err != nil {
-			return nil, err
+			return nil, s.finish(err)
 		}
 		if s.heap[0].terminal {
 			n := heap.Pop(&s.heap).(*node)
@@ -106,7 +115,7 @@ func (s *dijkstraStream) Next() (*Result, error) {
 		}
 		expanded := s.stats.nodesExpanded.Load()
 		if expanded >= int64(s.q.MaxNodes) {
-			return nil, ErrExhausted
+			return nil, s.finish(ErrExhausted)
 		}
 		// Gather a batch of non-terminal nodes; stop if a terminal surfaces.
 		var batch []*node
@@ -137,7 +146,23 @@ func (s *dijkstraStream) Next() (*Result, error) {
 			}
 		}
 	}
-	return nil, ErrExhausted
+	return nil, s.finish(ErrExhausted)
+}
+
+// finish records the stream's terminal error and releases its derived
+// context, so even streams that are never explicitly closed don't stay
+// registered with a long-lived parent once they end.
+func (s *dijkstraStream) finish(err error) error {
+	s.done = err
+	s.q.cancel()
+	return err
+}
+
+// Close implements Stream: it cancels the traversal context. A concurrent
+// Next observes the cancellation at its next expansion round.
+func (s *dijkstraStream) Close() error {
+	s.q.cancel()
+	return nil
 }
 
 // childrenOf builds a node's rule-filtered children (and terminal, if

@@ -9,6 +9,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,12 @@ type Query struct {
 	// Context cancels an in-progress traversal: Next (and Mass) observe it
 	// between expansion rounds and return its error. nil means Background.
 	Context context.Context
+
+	// cancel releases the stream's derived context. Filled by
+	// normalizeQuery; Stream.Close and terminal Next paths invoke it so an
+	// abandoned stream never stays registered with a long-lived parent
+	// context (a server request context, for example).
+	cancel context.CancelFunc
 }
 
 // Result is one matching tuple from the stream.
@@ -101,6 +108,16 @@ type Stats struct {
 	Emitted       int64
 	Attempts      int64 // sampler: total sampling attempts (incl. rejected)
 	Rejected      int64 // sampler: attempts that dead-ended or failed a filter
+}
+
+// Add accumulates o into s — the one place aggregators sum Stats, so a new
+// counter field extends every aggregate by updating this method alone.
+func (s *Stats) Add(o Stats) {
+	s.NodesExpanded += o.NodesExpanded
+	s.ModelCalls += o.ModelCalls
+	s.Emitted += o.Emitted
+	s.Attempts += o.Attempts
+	s.Rejected += o.Rejected
 }
 
 // counters is the race-safe backing store for Stats: streams update it with
@@ -133,8 +150,16 @@ type Stream interface {
 	// Next returns the next result. It returns ErrExhausted when the
 	// language is exhausted (deterministic traversals only; random streams
 	// never exhaust but may return ErrExhausted once MaxNodes attempts
-	// fail consecutively).
+	// fail consecutively). After Close, Next returns the cancellation
+	// error of the stream's context.
 	Next() (*Result, error)
+	// Close cancels the stream's traversal context and releases its
+	// resources. Safe to call multiple times and from any goroutine; a
+	// traversal blocked in Next observes the cancellation at its next
+	// expansion round. Streams must always be closed — abandoning a
+	// half-drained stream otherwise keeps its derived context registered
+	// with the parent for the parent's lifetime.
+	Close() error
 	// Stats returns a snapshot of work counters.
 	Stats() Stats
 }
@@ -212,6 +237,13 @@ func scoreSequences(dev *device.Device, seqs [][]model.Token) ([]float64, int64)
 // slices, so results merge without locks; the coordinator then consumes the
 // slots in index order, keeping traversal output deterministic regardless
 // of worker scheduling.
+//
+// Expansion shards deliberately do NOT route through the shared
+// device.Pool: that pool bounds *scoring* concurrency server-wide, and
+// borrowing it for expansion would couple a traversal's progress to how
+// busy other queries keep the scoring workers. Expansion shards are
+// CPU-bound microtasks whose per-batch goroutine spawn cost is noise next
+// to the model scoring each round already paid.
 func parallelFor(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -251,7 +283,10 @@ func queryContext(q *Query) context.Context {
 
 // EffectiveBatch resolves a BatchExpand setting against the device: <= 0
 // means one frontier batch per device dispatch window. Query planners
-// (relm.Explain) use this so the reported plan matches what runs.
+// (relm.Explain) use this so the reported plan matches what runs. Together
+// with EffectiveParallelism it is the single clamping point for the two
+// execution knobs: callers validate user input with ValidateBatch /
+// ValidateParallelism and then rely on these to resolve defaults.
 func EffectiveBatch(dev *device.Device, batch int) int {
 	if batch <= 0 {
 		return dev.MaxBatch()
@@ -266,4 +301,26 @@ func EffectiveParallelism(p int) int {
 		return 1
 	}
 	return p
+}
+
+// ValidateBatch rejects nonsensical user-facing BatchExpand settings.
+// 0 is valid (the device batch limit); negatives are an input error, and
+// would otherwise be clamped silently by EffectiveBatch.
+func ValidateBatch(batch int) error {
+	if batch < 0 {
+		return fmt.Errorf("engine: batch must be >= 0 (0 = device batch limit), got %d", batch)
+	}
+	return nil
+}
+
+// ValidateParallelism rejects nonsensical user-facing Parallelism settings:
+// a worker pool needs at least one worker. (Library callers may leave
+// Query.Parallelism at 0 for the serial default; CLI and server front ends
+// reject explicit 0/negative values so a typo doesn't silently serialize a
+// run.)
+func ValidateParallelism(p int) error {
+	if p < 1 {
+		return fmt.Errorf("engine: parallelism must be >= 1, got %d", p)
+	}
+	return nil
 }

@@ -95,6 +95,7 @@ func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 		opts.MaxNodes = 1 << 17
 	}
 	q = normalizeQuery(dev, q)
+	defer q.cancel() // Mass is synchronous; release the derived context
 	m := dev.Model()
 	batchSize := EffectiveBatch(dev, q.BatchExpand)
 

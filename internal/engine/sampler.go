@@ -79,6 +79,17 @@ type samplerStream struct {
 
 func (s *samplerStream) Stats() Stats { return s.stats.snapshot() }
 
+// Close implements Stream: it cancels the traversal context, so a
+// concurrent Next (possibly mid-wave) returns the cancellation error at its
+// next attempt boundary. Unlike the deterministic streams, a sampler's
+// per-call ErrExhausted (MaxAttemptsPerResult consecutive rejections) is
+// not terminal — a later Next draws fresh attempts — so only Close ends a
+// random stream.
+func (s *samplerStream) Close() error {
+	s.q.cancel()
+	return nil
+}
+
 // Next performs rejection sampling: draw a prefix, then walk the pattern
 // automaton sampling rule-filtered tokens until acceptance via EOS-weighted
 // stopping. Dead ends (all automaton edges pruned by the rule) reject the

@@ -1,8 +1,17 @@
 // Package web simulates the URL-validation oracle of §4.1. The paper checks
 // memorized URLs by issuing HTTPS requests and accepting response codes
 // below 300; here the "web" is the synthetic registry of URLs that exist in
-// the corpus generator's world, and Check consults membership while charging
+// the corpus generator's world, and checks consult membership while charging
 // a simulated round-trip time against a virtual clock.
+//
+// Concurrency is modelled with probes: each Probe is one connection lane
+// whose checks occupy [start, start + k·rtt] windows on the virtual clock.
+// Lanes open at the same virtual instant overlap, and the oracle bills the
+// *union* of their windows — N concurrent single-check lanes cost one RTT,
+// not N. (The old accounting summed every check under one mutex, billing
+// N×rtt of virtual wall-clock for work a real validator would overlap.)
+// Serial callers of Check/CheckUnique keep the original semantics:
+// consecutive checks are disjoint windows and their costs sum.
 package web
 
 import (
@@ -15,9 +24,23 @@ type Oracle struct {
 	mu       sync.Mutex
 	registry map[string]bool
 	rtt      time.Duration
-	elapsed  time.Duration
 	checks   int64
 	seen     map[string]bool
+
+	// Virtual-clock state. now is the oracle's current virtual time; while
+	// an overlap group (>= 1 open probe) is active, now stays frozen at the
+	// group's start and groupEnd tracks the furthest window edge. When the
+	// last probe of the group closes, the union [now, groupEnd] is billed
+	// and now jumps forward. solo is the lane cursor for standalone
+	// Check/CheckUnique calls: they are serial with respect to each other,
+	// so inside an open group they chain (each starts where the previous
+	// standalone check ended) rather than all collapsing onto the group
+	// origin.
+	now      time.Duration
+	groupEnd time.Duration
+	solo     time.Duration
+	open     int
+	elapsed  time.Duration // union of all check windows so far
 }
 
 // NewOracle builds an oracle over the registry (URL -> exists). rtt is the
@@ -34,25 +57,72 @@ func NewOracle(registry map[string]bool, rtt time.Duration) *Oracle {
 	return &Oracle{registry: reg, rtt: rtt, seen: map[string]bool{}}
 }
 
-// Check reports whether the URL exists ("HTTP < 300"). Every call charges
-// one round trip.
-func (o *Oracle) Check(url string) bool {
+// Probe is one connection lane. Checks issued through the same probe are
+// serial (each extends the lane's window by one RTT); checks on distinct
+// probes that are open at the same time overlap and are billed as the union
+// of their windows. Probes must be closed with Done.
+type Probe struct {
+	o      *Oracle
+	cursor time.Duration // lane-local virtual time
+	done   bool
+}
+
+// Begin opens a connection lane at the current virtual time.
+func (o *Oracle) Begin() *Probe {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.open == 0 {
+		o.groupEnd = o.now
+		o.solo = o.now
+	}
+	o.open++
+	return &Probe{o: o, cursor: o.now}
+}
+
+// Done closes the lane. When the last open lane of an overlap group closes,
+// the group's combined window is billed to the oracle clock.
+func (p *Probe) Done() {
+	p.o.mu.Lock()
+	defer p.o.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.done = true
+	p.o.open--
+	if p.o.open == 0 {
+		p.o.elapsed += p.o.groupEnd - p.o.now
+		p.o.now = p.o.groupEnd
+		p.o.solo = p.o.now
+	}
+}
+
+// check is the shared lookup + window accounting. mu must be held.
+func (o *Oracle) check(cursor *time.Duration, url string) bool {
 	o.checks++
-	o.elapsed += o.rtt
+	*cursor += o.rtt
+	if *cursor > o.groupEnd {
+		o.groupEnd = *cursor
+	}
 	return o.registry[url]
 }
 
-// CheckUnique reports whether the URL exists and has not been validated
-// before — the paper counts *unique* validated URLs (duplicates are the
-// baselines' major cost).
-func (o *Oracle) CheckUnique(url string) (valid, duplicate bool) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.checks++
-	o.elapsed += o.rtt
-	if !o.registry[url] {
+// Check reports whether the URL exists ("HTTP < 300"), charging one round
+// trip on this lane.
+func (p *Probe) Check(url string) bool {
+	p.o.mu.Lock()
+	defer p.o.mu.Unlock()
+	return p.o.check(&p.cursor, url)
+}
+
+// CheckUnique is Check plus the uniqueness ledger (see Oracle.CheckUnique).
+func (p *Probe) CheckUnique(url string) (valid, duplicate bool) {
+	p.o.mu.Lock()
+	defer p.o.mu.Unlock()
+	return p.o.checkUnique(&p.cursor, url)
+}
+
+func (o *Oracle) checkUnique(cursor *time.Duration, url string) (valid, duplicate bool) {
+	if !o.check(cursor, url) {
 		return false, false
 	}
 	if o.seen[url] {
@@ -62,17 +132,75 @@ func (o *Oracle) CheckUnique(url string) (valid, duplicate bool) {
 	return true, false
 }
 
-// Stats reports oracle activity.
+// Check reports whether the URL exists ("HTTP < 300"). Standalone calls
+// form one serial lane: consecutive checks chain, each paying a disjoint
+// round trip — even while probes are open, where the serial lane overlaps
+// the probes' windows but never itself.
+func (o *Oracle) Check(url string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ok := o.check(&o.solo, url)
+	o.settleInstant()
+	return ok
+}
+
+// CheckUnique reports whether the URL exists and has not been validated
+// before — the paper counts *unique* validated URLs (duplicates are the
+// baselines' major cost).
+func (o *Oracle) CheckUnique(url string) (valid, duplicate bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	valid, duplicate = o.checkUnique(&o.solo, url)
+	o.settleInstant()
+	return valid, duplicate
+}
+
+// settleInstant closes an implicit standalone-lane window: when no probes
+// are open the window is billed immediately (serial semantics); otherwise
+// the open group absorbs it when the last probe closes. mu must be held.
+func (o *Oracle) settleInstant() {
+	if o.open == 0 {
+		o.elapsed += o.groupEnd - o.now
+		o.now = o.groupEnd
+		o.solo = o.now
+	}
+}
+
+// CheckConcurrent validates a batch of URLs over len(urls) parallel lanes:
+// the windows overlap each other, so the whole batch bills one RTT of
+// virtual time. It occupies one RTT on the standalone serial lane, so
+// consecutive batches chain like consecutive checks.
+func (o *Oracle) CheckConcurrent(urls []string) []bool {
+	if len(urls) == 0 {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	base := o.solo
+	out := make([]bool, len(urls))
+	for i, u := range urls {
+		cursor := base
+		out[i] = o.check(&cursor, u)
+	}
+	o.solo = base + o.rtt
+	o.settleInstant()
+	return out
+}
+
+// Stats reports oracle activity: total checks, the virtual time spent (the
+// union of all check windows), and unique validated URLs.
 func (o *Oracle) Stats() (checks int64, elapsed time.Duration, unique int) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.checks, o.elapsed, len(o.seen)
 }
 
-// Reset clears the uniqueness ledger and counters (registry is kept).
+// Reset clears the uniqueness ledger and counters (registry is kept). Open
+// probes must be closed before Reset.
 func (o *Oracle) Reset() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.checks, o.elapsed = 0, 0
+	o.groupEnd = o.now
 	o.seen = map[string]bool{}
 }

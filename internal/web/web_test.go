@@ -1,6 +1,7 @@
 package web
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -60,6 +61,171 @@ func TestReset(t *testing.T) {
 	}
 	if !o.Check("u") {
 		t.Error("reset must keep the registry")
+	}
+}
+
+func TestConcurrentChecksBillUnionNotSum(t *testing.T) {
+	// Four overlapping lanes, one check each: the union of four identical
+	// windows is one RTT — the old accounting billed four.
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	probes := make([]*Probe, 4)
+	for i := range probes {
+		probes[i] = o.Begin()
+	}
+	for _, p := range probes {
+		if !p.Check("u") {
+			t.Error("registered URL should be valid")
+		}
+	}
+	for _, p := range probes {
+		p.Done()
+	}
+	checks, elapsed, _ := o.Stats()
+	if checks != 4 {
+		t.Errorf("checks = %d, want 4", checks)
+	}
+	if elapsed != rtt {
+		t.Errorf("elapsed = %v, want one overlapped RTT %v", elapsed, rtt)
+	}
+}
+
+func TestProbeChecksAreSerialWithinLane(t *testing.T) {
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	p := o.Begin()
+	p.Check("u")
+	p.Check("u")
+	p.Check("u")
+	p.Done()
+	if _, elapsed, _ := o.Stats(); elapsed != 3*rtt {
+		t.Errorf("elapsed = %v, want 3 serial RTTs on one lane", elapsed)
+	}
+}
+
+func TestRaggedLanesBillLongestWindow(t *testing.T) {
+	// Lane A performs 3 checks, lane B performs 1, fully overlapped:
+	// union = max(3·rtt, 1·rtt) = 3·rtt.
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	a, b := o.Begin(), o.Begin()
+	a.Check("u")
+	b.Check("u")
+	a.Check("u")
+	a.Check("u")
+	a.Done()
+	b.Done()
+	if _, elapsed, _ := o.Stats(); elapsed != 3*rtt {
+		t.Errorf("elapsed = %v, want max-lane 3 RTTs", elapsed)
+	}
+}
+
+func TestSequentialGroupsStillSum(t *testing.T) {
+	// Two overlap groups separated in time are disjoint windows and sum.
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	for g := 0; g < 2; g++ {
+		a, b := o.Begin(), o.Begin()
+		a.Check("u")
+		b.Check("u")
+		a.Done()
+		b.Done()
+	}
+	if _, elapsed, _ := o.Stats(); elapsed != 2*rtt {
+		t.Errorf("elapsed = %v, want two disjoint RTTs", elapsed)
+	}
+}
+
+func TestStandaloneCheckJoinsOpenGroup(t *testing.T) {
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	p := o.Begin()
+	p.Check("u")
+	o.Check("u") // overlaps the open lane's window
+	p.Done()
+	if _, elapsed, _ := o.Stats(); elapsed != rtt {
+		t.Errorf("elapsed = %v, want one overlapped RTT", elapsed)
+	}
+	// After the group closes, a standalone check is serial again.
+	o.Check("u")
+	if _, elapsed, _ := o.Stats(); elapsed != 2*rtt {
+		t.Errorf("elapsed = %v, want 2 RTTs after the group closed", elapsed)
+	}
+}
+
+func TestStandaloneChecksChainInsideOpenGroup(t *testing.T) {
+	// Standalone checks are serial with respect to each other even while a
+	// probe holds the group open: three of them occupy three chained
+	// windows, not three copies of the group origin's window.
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	p := o.Begin()
+	p.Check("u")
+	for i := 0; i < 3; i++ {
+		o.Check("u")
+	}
+	p.Done()
+	if _, elapsed, _ := o.Stats(); elapsed != 3*rtt {
+		t.Errorf("elapsed = %v, want 3 chained serial RTTs", elapsed)
+	}
+}
+
+func TestCheckConcurrentBatchesChain(t *testing.T) {
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	o.CheckConcurrent([]string{"u", "u"})
+	o.CheckConcurrent([]string{"u", "u"})
+	if _, elapsed, _ := o.Stats(); elapsed != 2*rtt {
+		t.Errorf("elapsed = %v, want two chained batch windows", elapsed)
+	}
+	if got := o.CheckConcurrent(nil); got != nil {
+		t.Errorf("empty batch = %v, want nil", got)
+	}
+}
+
+func TestCheckConcurrentBatch(t *testing.T) {
+	rtt := 10 * time.Millisecond
+	o := NewOracle(map[string]bool{"a": true, "b": true}, rtt)
+	got := o.CheckConcurrent([]string{"a", "b", "missing"})
+	want := []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CheckConcurrent[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	checks, elapsed, _ := o.Stats()
+	if checks != 3 {
+		t.Errorf("checks = %d, want 3", checks)
+	}
+	if elapsed != rtt {
+		t.Errorf("elapsed = %v, want one overlapped RTT", elapsed)
+	}
+}
+
+func TestProbesFromGoroutines(t *testing.T) {
+	// Race-detector coverage: concurrent lanes from real goroutines. The
+	// precise overlap depends on scheduling, but the union can never
+	// exceed the serial sum nor undercut a single lane's window.
+	rtt := time.Millisecond
+	o := NewOracle(map[string]bool{"u": true}, rtt)
+	const lanes = 8
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := o.Begin()
+			defer p.Done()
+			p.Check("u")
+		}()
+	}
+	wg.Wait()
+	checks, elapsed, _ := o.Stats()
+	if checks != lanes {
+		t.Errorf("checks = %d, want %d", checks, lanes)
+	}
+	if elapsed < rtt || elapsed > lanes*rtt {
+		t.Errorf("elapsed = %v, want within [%v, %v]", elapsed, rtt, lanes*rtt)
 	}
 }
 

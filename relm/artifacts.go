@@ -1,0 +1,43 @@
+package relm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+// LoadArtifacts reads the tokenizer.json and model.json a relm-train run
+// wrote into dir, detecting the model architecture by trying each loader,
+// and wraps them as a queryable Model. The returned string names the
+// architecture ("ngram" or "transformer"). Shared by cmd/relm and
+// cmd/relm-serve so the two front ends can never disagree on which
+// artifacts they accept.
+func LoadArtifacts(dir string, opts ModelOptions) (*Model, string, error) {
+	tf, err := os.Open(filepath.Join(dir, "tokenizer.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	defer tf.Close()
+	tok, err := tokenizer.LoadBPE(tf)
+	if err != nil {
+		return nil, "", fmt.Errorf("load tokenizer: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "model.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	var lm model.LanguageModel
+	var arch string
+	if ng, nerr := model.LoadNGram(bytes.NewReader(raw)); nerr == nil {
+		lm, arch = ng, "ngram"
+	} else if tr, terr := model.LoadTransformer(bytes.NewReader(raw)); terr == nil {
+		lm, arch = tr, "transformer"
+	} else {
+		return nil, "", fmt.Errorf("model.json is neither an n-gram (%v) nor a transformer (%v)", nerr, terr)
+	}
+	return NewModel(lm, tok, opts), arch, nil
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/automaton"
 	"repro/internal/cache"
@@ -183,6 +184,11 @@ type Model struct {
 	LM  model.LanguageModel
 	Tok *tokenizer.BPE
 	Dev *device.Device
+
+	// cache is the shared logit cache NewModel installed between the device
+	// and the raw model (nil when caching is disabled). Sessions derive
+	// attribution scopes from it.
+	cache *cache.LM
 }
 
 // ModelOptions configures device simulation, caching, and scoring
@@ -199,6 +205,11 @@ type ModelOptions struct {
 	// The logit cache is single-flight, so concurrent shards never compute
 	// the same context twice (DESIGN.md decision 6).
 	Parallelism int
+	// Pool, when non-nil, attaches a persistent scoring pool shared with
+	// other models — a long-running server sizes one pool for the whole
+	// process instead of per-query goroutines (DESIGN.md decision 8). It
+	// overrides Parallelism's transient workers.
+	Pool *device.Pool
 }
 
 // NewModel wraps a language model and tokenizer for querying.
@@ -210,18 +221,68 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 		opts.CacheSize = 8192
 	}
 	wrapped := lm
+	var shared *cache.LM
 	if opts.CacheSize > 0 {
-		wrapped = cache.New(lm, opts.CacheSize)
+		shared = cache.New(lm, opts.CacheSize)
+		wrapped = shared
 	}
 	dev := device.New(wrapped, opts.Latency, opts.MaxBatch)
 	if opts.Parallelism > 1 {
 		dev.SetWorkers(opts.Parallelism)
 	}
-	return &Model{
-		LM:  lm,
-		Tok: tok,
-		Dev: dev,
+	if opts.Pool != nil {
+		dev.SetPool(opts.Pool)
 	}
+	return &Model{
+		LM:    lm,
+		Tok:   tok,
+		Dev:   dev,
+		cache: shared,
+	}
+}
+
+// Cache returns the shared logit cache NewModel installed, or nil when
+// caching was disabled. Serving layers read its aggregate hit/miss counters
+// for observability.
+func (m *Model) Cache() *cache.LM { return m.cache }
+
+// Session is a per-query view of a shared Model: queries run through the
+// same device (one virtual accelerator, one clock, one worker pool) and the
+// same logit cache, but cache activity is attributed to this session alone.
+// A query-serving layer opens one Session per request so overlapping query
+// frontiers deduplicate model calls while /v1/stats can still say which
+// query benefited (DESIGN.md decision 8).
+type Session struct {
+	// Model is the per-session view; pass it to Search/Explain/Mass.
+	Model *Model
+	scope *cache.Scope
+}
+
+// NewSession derives a session from the model. Without a cache the session
+// is the model itself (attribution degenerates to zeros).
+func (m *Model) NewSession() *Session {
+	if m.cache == nil {
+		return &Session{Model: m}
+	}
+	scope := m.cache.NewScope()
+	return &Session{
+		Model: &Model{
+			LM:    m.LM,
+			Tok:   m.Tok,
+			Dev:   m.Dev.WithModel(scope),
+			cache: m.cache,
+		},
+		scope: scope,
+	}
+}
+
+// CacheStats reports this session's share of shared-cache activity: hits
+// include entries other sessions computed — the cross-query wins.
+func (s *Session) CacheStats() cache.ScopeStats {
+	if s.scope == nil {
+		return cache.ScopeStats{}
+	}
+	return s.scope.Stats()
 }
 
 // Match is one query result.
@@ -243,13 +304,20 @@ type Match struct {
 	Canonical bool
 }
 
-// Results streams matches.
+// Results streams matches. A Results must be closed when abandoned before
+// exhaustion — Close cancels the underlying traversal so the engine stops
+// expanding nodes for a consumer that has gone away (a disconnected HTTP
+// client, for example). Next/Take/Err are for a single consumer goroutine;
+// Close may be called concurrently from another.
 type Results struct {
 	stream  engine.Stream
 	tok     *tokenizer.BPE
 	filters []func(string) bool
 	dedup   bool
 	seen    map[string]bool
+
+	mu  sync.Mutex
+	err error // first non-exhaustion stream error
 }
 
 // ErrExhausted is returned by Next when the query space has been fully
@@ -261,6 +329,9 @@ func (r *Results) Next() (*Match, error) {
 	for {
 		res, err := r.stream.Next()
 		if err != nil {
+			if !errors.Is(err, ErrExhausted) {
+				r.recordErr(err)
+			}
 			return nil, err
 		}
 		m := &Match{
@@ -272,15 +343,9 @@ func (r *Results) Next() (*Match, error) {
 			Canonical:     tokenizer.IsCanonical(r.tok, res.Pattern),
 		}
 		m.Text = m.PrefixText + m.PatternText
-		if r.dedup {
-			if r.seen == nil {
-				r.seen = map[string]bool{}
-			}
-			if r.seen[m.Text] {
-				continue
-			}
-			r.seen[m.Text] = true
-		}
+		// Deferred filters run before dedup bookkeeping: a filter-dropped
+		// match must not consume a dedup slot, so the seen map grows only
+		// with matches actually emitted.
 		dropped := false
 		for _, f := range r.filters {
 			if !f(m.Text) {
@@ -291,11 +356,23 @@ func (r *Results) Next() (*Match, error) {
 		if dropped {
 			continue
 		}
+		if r.dedup {
+			if r.seen == nil {
+				r.seen = map[string]bool{}
+			}
+			if r.seen[m.Text] {
+				continue
+			}
+			r.seen[m.Text] = true
+		}
 		return m, nil
 	}
 }
 
-// Take drains up to n matches (fewer if the space exhausts).
+// Take drains up to n matches. It stops at the first error from Next —
+// clean exhaustion or a real failure — and records the latter, so callers
+// can distinguish "the language ran out" from "the engine was cancelled or
+// failed" by checking Err afterwards.
 func (r *Results) Take(n int) []*Match {
 	var out []*Match
 	for i := 0; i < n; i++ {
@@ -307,6 +384,30 @@ func (r *Results) Take(n int) []*Match {
 	}
 	return out
 }
+
+// Err reports the first error, other than exhaustion, that terminated the
+// stream: a cancelled or expired context, or an engine failure. It returns
+// nil while the stream is live and after clean exhaustion.
+func (r *Results) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Results) recordErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// Close cancels the underlying traversal and releases its resources. A
+// concurrent Next unblocks with a cancellation error at its next expansion
+// round; subsequent Next calls fail immediately. Close is idempotent and
+// safe from any goroutine. Always close a Results you do not drain to
+// exhaustion.
+func (r *Results) Close() error { return r.stream.Close() }
 
 // Stats exposes the underlying engine counters.
 func (r *Results) Stats() engine.Stats { return r.stream.Stats() }

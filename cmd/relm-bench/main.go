@@ -20,10 +20,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/textio"
+	"repro/relm"
 )
 
 type experiment struct {
@@ -74,15 +76,38 @@ func main() {
 			continue
 		}
 		ran++
+		before := env.PlanStats()
+		start := time.Now()
 		if err := e.run(env); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		reportSplit(e.id, time.Since(start), before, env.PlanStats())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *expFlag)
 		os.Exit(1)
 	}
+}
+
+// reportSplit prints the compile-vs-traverse time split for one experiment:
+// compile is the plan-cache's measured compilation wall time during the run,
+// and the remainder is traversal plus model scoring — the amortizable versus
+// per-query cost breakdown the paper's serving story is about (DESIGN.md
+// decision 9).
+func reportSplit(id string, wall time.Duration, before, after relm.PlanCacheStats) {
+	compile := after.CompileTime - before.CompileTime
+	traverse := wall - compile
+	if traverse < 0 {
+		traverse = 0 // compile can overlap wall rounding at µs scales
+	}
+	pct := 0.0
+	if wall > 0 {
+		pct = 100 * float64(compile) / float64(wall)
+	}
+	fmt.Printf("[%s] wall %v | compile %v (%.1f%%) | traverse+score %v | plan cache +%d hits / +%d misses\n",
+		id, wall.Round(time.Millisecond), compile.Round(time.Millisecond), pct,
+		traverse.Round(time.Millisecond), after.Hits-before.Hits, after.Misses-before.Misses)
 }
 
 func registry() []experiment {

@@ -12,6 +12,7 @@ package automaton
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Symbol is a transition label. For character automata it is a byte value in
@@ -107,11 +108,21 @@ func (n *NFA) epsClosure(set []StateID) []StateID {
 // DFA is a deterministic finite automaton. Transitions are stored as sorted
 // edge lists per state, supporting both dense byte alphabets and sparse token
 // alphabets.
+//
+// Edge lists are kept sorted at insertion time, so every read path (Step,
+// Edges, Match*) is strictly read-only: a fully constructed DFA may be
+// traversed from any number of goroutines concurrently. (An earlier design
+// sorted lazily on first access, which made Step a hidden writer — a latent
+// data race once engines shared automata across parallel workers.) Freeze
+// converts a finished DFA into the even leaner immutable Frozen form.
 type DFA struct {
 	edges  [][]Edge // sorted by Sym; at most one edge per (state, symbol)
 	start  StateID
 	accept []bool
-	sealed []bool // per-state: true once edge list is sorted
+	// alphabet memoizes Alphabet(); AddEdge invalidates it. Stored through an
+	// atomic pointer so concurrent readers of a shared, fully built DFA can
+	// fill the memo without racing (both writers store equal values).
+	alphabet atomic.Pointer[[]Symbol]
 }
 
 // NewDFA returns an empty DFA.
@@ -121,21 +132,26 @@ func NewDFA() *DFA { return &DFA{} }
 func (d *DFA) AddState(accepting bool) StateID {
 	d.edges = append(d.edges, nil)
 	d.accept = append(d.accept, accepting)
-	d.sealed = append(d.sealed, true)
 	return len(d.edges) - 1
 }
 
-// AddEdge inserts the unique transition (from, sym) -> to. Adding a second
-// edge with the same (from, sym) pair panics: determinism is an invariant.
+// AddEdge inserts the unique transition (from, sym) -> to, keeping the
+// state's edge list sorted by symbol. Adding a second edge with the same
+// (from, sym) pair panics: determinism is an invariant.
 func (d *DFA) AddEdge(from StateID, sym Symbol, to StateID) {
 	if sym == Epsilon {
 		panic("automaton: epsilon edge in DFA")
 	}
-	if _, ok := d.Step(from, sym); ok {
+	es := d.edges[from]
+	i := sort.Search(len(es), func(i int) bool { return es[i].Sym >= sym })
+	if i < len(es) && es[i].Sym == sym {
 		panic(fmt.Sprintf("automaton: duplicate edge (%d, %d)", from, sym))
 	}
-	d.edges[from] = append(d.edges[from], Edge{Sym: sym, To: to})
-	d.sealed[from] = false
+	es = append(es, Edge{})
+	copy(es[i+1:], es[i:])
+	es[i] = Edge{Sym: sym, To: to}
+	d.edges[from] = es
+	d.alphabet.Store(nil)
 }
 
 // SetStart designates the initial state.
@@ -153,19 +169,10 @@ func (d *DFA) Accepting(s StateID) bool { return d.accept[s] }
 // SetAccepting marks or unmarks s as accepting.
 func (d *DFA) SetAccepting(s StateID, v bool) { d.accept[s] = v }
 
-// seal sorts a state's edges by symbol so Step can binary-search.
-func (d *DFA) seal(s StateID) {
-	if !d.sealed[s] {
-		es := d.edges[s]
-		sort.Slice(es, func(i, j int) bool { return es[i].Sym < es[j].Sym })
-		d.sealed[s] = true
-	}
-}
-
 // Step follows the transition labeled sym out of state s. ok is false when no
-// such transition exists.
+// such transition exists. Step is read-only and safe for concurrent use on a
+// fully constructed DFA.
 func (d *DFA) Step(s StateID, sym Symbol) (to StateID, ok bool) {
-	d.seal(s)
 	es := d.edges[s]
 	i := sort.Search(len(es), func(i int) bool { return es[i].Sym >= sym })
 	if i < len(es) && es[i].Sym == sym {
@@ -175,9 +182,9 @@ func (d *DFA) Step(s StateID, sym Symbol) (to StateID, ok bool) {
 }
 
 // Edges returns the outgoing edges of s, sorted by symbol. The slice is owned
-// by the DFA and must not be mutated.
+// by the DFA and must not be mutated. Edges is read-only and safe for
+// concurrent use on a fully constructed DFA.
 func (d *DFA) Edges(s StateID) []Edge {
-	d.seal(s)
 	return d.edges[s]
 }
 
@@ -191,36 +198,22 @@ func (d *DFA) NumEdges() int {
 }
 
 // MatchBytes reports whether the DFA (over the byte alphabet) accepts s.
-func (d *DFA) MatchBytes(s []byte) bool {
-	st := d.start
-	for _, b := range s {
-		next, ok := d.Step(st, int(b))
-		if !ok {
-			return false
-		}
-		st = next
-	}
-	return d.accept[st]
-}
+func (d *DFA) MatchBytes(s []byte) bool { return matchBytes(d, s) }
 
 // MatchString reports whether the DFA accepts the bytes of s.
 func (d *DFA) MatchString(s string) bool { return d.MatchBytes([]byte(s)) }
 
 // MatchSymbols reports whether the DFA accepts the symbol sequence seq.
-func (d *DFA) MatchSymbols(seq []Symbol) bool {
-	st := d.start
-	for _, sym := range seq {
-		next, ok := d.Step(st, sym)
-		if !ok {
-			return false
-		}
-		st = next
-	}
-	return d.accept[st]
-}
+func (d *DFA) MatchSymbols(seq []Symbol) bool { return matchSymbols(d, seq) }
 
-// Alphabet returns the sorted set of symbols appearing on any edge.
+// Alphabet returns the sorted set of symbols appearing on any edge. The
+// result is memoized — levenshtein expansion, rewriting, and the pairwise
+// compiler all call it in loops — and recomputed only after AddEdge. The
+// returned slice is shared; callers must not mutate it.
 func (d *DFA) Alphabet() []Symbol {
+	if p := d.alphabet.Load(); p != nil {
+		return *p
+	}
 	set := map[Symbol]bool{}
 	for _, es := range d.edges {
 		for _, e := range es {
@@ -232,6 +225,7 @@ func (d *DFA) Alphabet() []Symbol {
 		out = append(out, s)
 	}
 	sort.Ints(out)
+	d.alphabet.Store(&out)
 	return out
 }
 

@@ -54,9 +54,12 @@ func (d *DFA) EnumerateStrings(maxLen, limit int) []string {
 
 // LanguageSize returns the exact number of strings of length at most maxLen.
 // It is a convenience over WalkCounter for finite checks in tests.
-func (d *DFA) LanguageSize(maxLen int) int64 {
-	w := NewWalkCounter(d, maxLen)
-	c := w.Count()
+func (d *DFA) LanguageSize(maxLen int) int64 { return LanguageSizeOf(d, maxLen) }
+
+// LanguageSizeOf counts accepted sequences of length at most maxLen for any
+// traversable automaton form, returning -1 when the count exceeds int64.
+func LanguageSizeOf(w Walker, maxLen int) int64 {
+	c := NewWalkCounter(w, maxLen).Count()
 	if !c.IsInt64() {
 		return -1 // too large to represent; callers treat as "huge"
 	}

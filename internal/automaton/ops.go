@@ -196,25 +196,7 @@ func Difference(a, b *DFA, alphabet []Symbol) *DFA {
 
 // IsEmpty reports whether the language is empty (no accepting state is
 // reachable).
-func (d *DFA) IsEmpty() bool {
-	seen := make([]bool, d.NumStates())
-	stack := []StateID{d.start}
-	seen[d.start] = true
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if d.accept[s] {
-			return false
-		}
-		for _, e := range d.Edges(s) {
-			if !seen[e.To] {
-				seen[e.To] = true
-				stack = append(stack, e.To)
-			}
-		}
-	}
-	return true
-}
+func (d *DFA) IsEmpty() bool { return isEmpty(d) }
 
 // HasCycle reports whether any cycle is reachable from the start state. A
 // cyclic automaton denotes an infinite language.

@@ -12,17 +12,17 @@ import (
 // kept as big.Int. Cycles are handled, per the paper, by bounding walk length
 // at the LM's maximum sequence length ("unrolling").
 type WalkCounter struct {
-	d      *DFA
+	d      Walker
 	maxLen int
 	// walks[s] = number of accepting walks of length <= remaining budget
 	// starting at s. Indexed walks[remaining][state].
 	table [][]*big.Int
 }
 
-// NewWalkCounter prepares walk counts for d with walk lengths bounded by
-// maxLen symbols. The DP is computed eagerly: O(maxLen * edges) big-integer
-// additions.
-func NewWalkCounter(d *DFA, maxLen int) *WalkCounter {
+// NewWalkCounter prepares walk counts for d (a DFA or a Frozen automaton)
+// with walk lengths bounded by maxLen symbols. The DP is computed eagerly:
+// O(maxLen * edges) big-integer additions.
+func NewWalkCounter(d Walker, maxLen int) *WalkCounter {
 	w := &WalkCounter{d: d, maxLen: maxLen}
 	n := d.NumStates()
 	w.table = make([][]*big.Int, maxLen+1)

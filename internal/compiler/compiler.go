@@ -18,6 +18,7 @@ package compiler
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/automaton"
 	"repro/internal/tokenizer"
@@ -48,25 +49,34 @@ func CompileFull(char *automaton.DFA, bpe *tokenizer.BPE) *automaton.DFA {
 
 // addShortcutsFrom walks the vocabulary trie and the DFA together from state
 // v, adding a shortcut edge for every multi-byte token whose surface bytes
-// form a valid walk.
+// form a valid walk. The DFS discovers tokens in map-iteration order, so
+// edges are buffered and sorted by token ID before insertion: AddEdge keeps
+// edge lists sorted, and since every shortcut token ID exceeds the byte
+// symbols already present, sorted insertion degenerates to O(1) appends —
+// feeding edges in random order would instead memmove O(k) per edge.
 func addShortcutsFrom(char, out *automaton.DFA, root *trieNode, v automaton.StateID) {
 	type frame struct {
 		trie  *trieNode
 		state automaton.StateID
 		depth int
 	}
+	var found []automaton.Edge
 	stack := []frame{{trie: root, state: v}}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if f.trie.token >= 0 && f.depth > 1 {
-			out.AddEdge(v, f.trie.token, f.state)
+			found = append(found, automaton.Edge{Sym: f.trie.token, To: f.state})
 		}
 		for b, child := range f.trie.children {
 			if to, ok := char.Step(f.state, int(b)); ok {
 				stack = append(stack, frame{trie: child, state: to, depth: f.depth + 1})
 			}
 		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].Sym < found[j].Sym })
+	for _, e := range found {
+		out.AddEdge(v, e.Sym, e.To)
 	}
 }
 
@@ -205,7 +215,7 @@ func (f *CanonicalFilter) AllowFinal(toks []tokenizer.Token) bool {
 // CountEncodings returns the number of token sequences of length at most
 // maxToks accepted by the full automaton — i.e. the total count of ambiguous
 // encodings, which for a single string of length n is 2^(n-1) when every
-// substring is a token (§3.2).
-func CountEncodings(full *automaton.DFA, maxToks int) int64 {
-	return full.LanguageSize(maxToks)
+// substring is a token (§3.2). Accepts either automaton form.
+func CountEncodings(full automaton.Walker, maxToks int) int64 {
+	return automaton.LanguageSizeOf(full, maxToks)
 }

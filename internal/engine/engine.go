@@ -25,8 +25,10 @@ import (
 // pattern, the prefix handling, the decision rules, and traversal limits.
 type Query struct {
 	// Pattern is the LLM automaton (token alphabet) for the constrained part
-	// of the generation.
-	Pattern *automaton.DFA
+	// of the generation. Traversal only reads it; production paths pass the
+	// immutable automaton.Frozen form so one compiled plan can serve many
+	// concurrent queries, while tests may pass a *automaton.DFA directly.
+	Pattern automaton.Walker
 	// Prefixes are the token encodings of the (enumerated) prefix language.
 	// Prefix tokens bypass decision rules (§3.3) but contribute their model
 	// cost for prioritization (the paper's startup-latency heuristic). An

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/corpus"
@@ -47,6 +48,15 @@ type Env struct {
 	Lambada     *lambada.Dataset
 	Oracle      *web.Oracle
 	Corpus      []string // the full training mix
+
+	// mu guards planProbes: one plan-cache counter reader per relm.Model the
+	// env has built (the two shared ones, FreshModel products, and models an
+	// experiment registers via TrackModel), so PlanStats can sum plan-cache
+	// counters over the whole run. Probes capture only each model's small
+	// plan cache, not the model — a retired model's logit cache and weights
+	// stay collectable.
+	mu         sync.Mutex
+	planProbes []func() relm.PlanCacheStats
 }
 
 // EnvConfig overrides sizing; zero values take Scale-based defaults.
@@ -132,7 +142,7 @@ func NewEnv(cfg EnvConfig) *Env {
 		Order: cfg.SmallOrder, MaxSeqLen: cfg.MaxSeqLen, Lambda: 0.7, CacheWeight: 0.12,
 	})
 
-	return &Env{
+	env := &Env{
 		Scale:       cfg.Scale,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
@@ -146,6 +156,38 @@ func NewEnv(cfg EnvConfig) *Env {
 		Oracle:      web.NewOracle(webCorpus.Registry, 50*time.Millisecond),
 		Corpus:      mix,
 	}
+	env.TrackModel(env.Large)
+	env.TrackModel(env.Small)
+	return env
+}
+
+// TrackModel registers a model's plan-cache counters with the env's
+// aggregate. Experiments that build their own models (outside FreshModel)
+// call it so cmd/relm-bench's compile-vs-traverse split sees their work.
+func (e *Env) TrackModel(m *relm.Model) *relm.Model {
+	probe := m.PlanCacheProbe()
+	e.mu.Lock()
+	e.planProbes = append(e.planProbes, probe)
+	e.mu.Unlock()
+	return m
+}
+
+// PlanStats sums compiled-plan cache counters over every model the env has
+// built or tracked, giving cmd/relm-bench its compile-vs-traverse time split.
+func (e *Env) PlanStats() relm.PlanCacheStats {
+	e.mu.Lock()
+	probes := append([]func() relm.PlanCacheStats(nil), e.planProbes...)
+	e.mu.Unlock()
+	var out relm.PlanCacheStats
+	for _, probe := range probes {
+		s := probe()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Bypassed += s.Bypassed
+		out.Entries += s.Entries
+		out.CompileTime += s.CompileTime
+	}
+	return out
 }
 
 // FreshModel re-wraps the large model with a fresh device so experiments do
@@ -157,7 +199,7 @@ func (e *Env) FreshModel(small bool) *relm.Model {
 	} else {
 		lm = e.Large.LM
 	}
-	return relm.NewModel(lm, e.Tok, relm.ModelOptions{Parallelism: e.Parallelism})
+	return e.TrackModel(relm.NewModel(lm, e.Tok, relm.ModelOptions{Parallelism: e.Parallelism}))
 }
 
 // FreshOracle returns an oracle with clean counters over the same registry.

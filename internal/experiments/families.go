@@ -109,7 +109,7 @@ func RunFamilies(env *Env, cfg FamiliesConfig) (*FamiliesResult, error) {
 			return nil, fmt.Errorf("families: unknown family %q", name)
 		}
 		row := FamilyRow{Name: name, TrainTime: time.Since(start)}
-		m := relm.NewModel(lm, env.Tok, relm.ModelOptions{})
+		m := env.TrackModel(relm.NewModel(lm, env.Tok, relm.ModelOptions{}))
 
 		correct := 0
 		for _, prof := range professions {

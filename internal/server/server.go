@@ -303,6 +303,15 @@ type ModelStats struct {
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheFlights int64   `json:"cache_flights"`
 	CacheLen     int     `json:"cache_len"`
+	// Plan-cache counters (DESIGN.md decision 9): PlanHits are queries that
+	// skipped regex/token compilation entirely because an identical compiled
+	// plan was cached; PlanCompileMS is the cumulative wall time the misses
+	// spent compiling — on a warm cache it stops growing.
+	PlanHits      int64 `json:"plan_hits"`
+	PlanMisses    int64 `json:"plan_misses"`
+	PlanBypassed  int64 `json:"plan_bypassed"`
+	PlanEntries   int   `json:"plan_entries"`
+	PlanCompileMS int64 `json:"plan_compile_ms"`
 }
 
 // StatsResponse is the /v1/stats payload.
@@ -371,6 +380,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ms.CacheFlights = c.FlightStats()
 			ms.CacheLen = c.Len()
 		}
+		ps := m.PlanCacheStats()
+		ms.PlanHits = ps.Hits
+		ms.PlanMisses = ps.Misses
+		ms.PlanBypassed = ps.Bypassed
+		ms.PlanEntries = ps.Entries
+		ms.PlanCompileMS = ps.CompileTime.Milliseconds()
 		resp.Models = append(resp.Models, ms)
 	}
 	writeJSON(w, http.StatusOK, resp)

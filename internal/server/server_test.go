@@ -506,3 +506,29 @@ func TestHistoryCapped(t *testing.T) {
 		t.Errorf("by_status = %v, want 5 finished queries", sr.ByStatus)
 	}
 }
+
+// TestStatsReportPlanCache asserts /v1/stats surfaces the per-model plan
+// cache: a repeated query must show up as a plan hit, meaning the server
+// skipped compilation entirely for the repeat (DESIGN.md decision 9).
+func TestStatsReportPlanCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		resp := postSearch(t, ts, `{"pattern":" ((cat)|(dog))","prefix":"The","max_matches":5}`)
+		matches, _ := readStream(t, resp.Body)
+		resp.Body.Close()
+		if len(matches) != 2 {
+			t.Fatalf("run %d: got %d matches", i, len(matches))
+		}
+	}
+	sr := getStats(t, ts)
+	if len(sr.Models) != 1 {
+		t.Fatalf("models = %d", len(sr.Models))
+	}
+	ms := sr.Models[0]
+	if ms.PlanMisses != 1 || ms.PlanHits != 2 {
+		t.Fatalf("plan cache: %d hits / %d misses, want 2/1", ms.PlanHits, ms.PlanMisses)
+	}
+	if ms.PlanEntries != 1 {
+		t.Fatalf("plan entries = %d, want 1", ms.PlanEntries)
+	}
+}

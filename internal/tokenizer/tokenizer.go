@@ -7,9 +7,13 @@
 package tokenizer
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Token is a token ID. IDs are dense: [0, VocabSize).
@@ -38,6 +42,9 @@ type BPE struct {
 	merges []mergeRule    // in priority order (rank = index)
 	ranks  map[[2]Token]int
 	eos    Token
+
+	fpOnce sync.Once
+	fp     string
 }
 
 type mergeRule struct {
@@ -242,6 +249,41 @@ func (b *BPE) VocabSize() int { return len(b.vocab) }
 
 // EOS returns the end-of-sequence token.
 func (b *BPE) EOS() Token { return b.eos }
+
+// Fingerprint returns a stable content hash of the tokenizer — vocabulary,
+// merge rules in rank order, and EOS. Two BPE instances with the same
+// fingerprint produce identical encodings, so the fingerprint is a sound
+// compiled-plan cache key component: a plan compiled against one tokenizer
+// must never be served to a model wrapping a different one. Computed once
+// and memoized; a BPE is immutable after Train/LoadBPE.
+func (b *BPE) Fingerprint() string {
+	b.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		writeStr := func(s string) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+			h.Write(buf[:])
+			h.Write([]byte(s))
+		}
+		writeInt := func(v int) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		writeInt(len(b.vocab))
+		for _, s := range b.vocab {
+			writeStr(s)
+		}
+		writeInt(len(b.merges))
+		for _, m := range b.merges {
+			writeInt(m.left)
+			writeInt(m.right)
+			writeInt(m.result)
+		}
+		writeInt(b.eos)
+		b.fp = hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return b.fp
+}
 
 // NumMerges reports how many merge rules were learned.
 func (b *BPE) NumMerges() int { return len(b.merges) }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
-	"repro/internal/regex"
 )
 
 // MassEstimate reports certified bounds on the probability that a complete
@@ -58,7 +57,7 @@ func Mass(m *Model, q SearchQuery, opts MassOptions) (*MassEstimate, error) {
 		return nil, errors.New("relm: model is incomplete")
 	}
 	applyDefaults(&q)
-	comp, err := compilePattern(m, q)
+	comp, _, err := compileCached(m, &q)
 	if err != nil {
 		return nil, err
 	}
@@ -71,19 +70,13 @@ func Mass(m *Model, q SearchQuery, opts MassOptions) (*MassEstimate, error) {
 		Pattern:     comp.token,
 		Filter:      comp.filter,
 	}
-	if q.Query.Prefix != "" {
-		prefixChar, perr := regex.Compile(q.Query.Prefix)
-		if perr != nil {
-			return nil, fmt.Errorf("relm: prefix: %w", perr)
-		}
-		if size := prefixChar.LanguageSize(q.PrefixMaxLen); size < 0 || size > int64(q.PrefixLimit) {
-			return nil, fmt.Errorf("relm: prefix language exceeds %d strings; restrict the prefix or raise PrefixLimit", q.PrefixLimit)
-		}
-		for _, s := range prefixChar.EnumerateStrings(q.PrefixMaxLen, q.PrefixLimit+1) {
-			eq.Prefixes = append(eq.Prefixes, m.Tok.Encode(s))
-		}
-		if len(eq.Prefixes) == 0 {
-			return nil, errors.New("relm: prefix language is empty")
+	prefix, err := compilePrefix(&q)
+	if err != nil {
+		return nil, err
+	}
+	if prefix != nil {
+		if eq.Prefixes, err = prefix.Encode(m.Tok); err != nil {
+			return nil, err
 		}
 	}
 	res := engine.Mass(m.Dev, eq, engine.MassOptions{Tolerance: opts.Tolerance, MaxNodes: opts.MaxNodes})

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/automaton"
 	"repro/internal/compiler"
@@ -11,16 +12,26 @@ import (
 	"repro/internal/regex"
 )
 
-// compiled holds the products of pattern compilation, shared by Search and
-// Explain.
+// compiled holds the products of pattern compilation, shared by Search,
+// Explain, and Mass. A compiled plan is immutable once built — the char
+// automaton is fully constructed (read-only thereafter), the token automaton
+// is frozen, and the filter is stateless — so one instance may be shared by
+// any number of concurrent queries via the plan cache.
 type compiled struct {
-	char     *automaton.DFA // byte-alphabet automaton after preprocessors
-	token    *automaton.DFA // token-alphabet LLM automaton
+	char     *automaton.DFA    // byte-alphabet automaton after preprocessors (minimized)
+	token    *automaton.Frozen // token-alphabet LLM automaton, minimized + frozen
 	filter   *compiler.CanonicalFilter
 	resolved CanonicalStrategy // which canonical construction actually ran
 }
 
-// compilePattern runs §3.1's pipeline up to the LLM automaton.
+// compilePattern runs §3.1's pipeline up to the LLM automaton. The char
+// automaton is Hopcroft-minimized after preprocessors run: regex.Compile
+// minimizes, but a preprocessor (e.g. PrependLiteral's Concat) may return a
+// non-minimal automaton, and the full token construction preserves
+// minimality — two states distinguishable over bytes stay distinguishable
+// over tokens, since every byte is itself a token — so minimizing at the
+// char boundary yields minimal token automata on every path below (the
+// enumerate and pairwise constructions minimize their own outputs).
 func compilePattern(m *Model, q SearchQuery) (*compiled, error) {
 	charDFA, err := regex.Compile(q.Query.Pattern)
 	if err != nil {
@@ -32,20 +43,22 @@ func compilePattern(m *Model, q SearchQuery) (*compiled, error) {
 			return nil, fmt.Errorf("relm: preprocessor %s: %w", p.Name(), err)
 		}
 	}
+	charDFA = charDFA.MinimizeHopcroft()
 	c := &compiled{char: charDFA}
 
+	var token *automaton.DFA
 	switch q.Tokenization {
 	case CanonicalTokens:
 		switch q.Canonical {
 		case CanonicalAuto:
 			canon, cerr := compiler.CompileCanonical(charDFA, m.Tok, q.PatternMaxLen, q.CanonicalLimit)
 			if cerr == nil {
-				c.token = canon
+				token = canon
 				c.resolved = CanonicalEnumerate
 			} else if errors.Is(cerr, compiler.ErrLanguageTooLarge) {
 				// Too large to enumerate: traverse the full automaton under
 				// the lazy dynamic canonicality filter (§3.2 option 2).
-				c.token = compiler.CompileFull(charDFA, m.Tok)
+				token = compiler.CompileFull(charDFA, m.Tok)
 				c.filter = compiler.NewCanonicalFilter(m.Tok)
 				c.resolved = CanonicalDynamic
 			} else {
@@ -56,23 +69,24 @@ func compilePattern(m *Model, q SearchQuery) (*compiled, error) {
 			if cerr != nil {
 				return nil, cerr
 			}
-			c.token = canon
+			token = canon
 			c.resolved = CanonicalEnumerate
 		case CanonicalPairwise:
-			c.token = compiler.CompileCanonicalPairwise(charDFA, m.Tok)
+			token = compiler.CompileCanonicalPairwise(charDFA, m.Tok)
 			c.resolved = CanonicalPairwise
 		case CanonicalDynamic:
-			c.token = compiler.CompileFull(charDFA, m.Tok)
+			token = compiler.CompileFull(charDFA, m.Tok)
 			c.filter = compiler.NewCanonicalFilter(m.Tok)
 			c.resolved = CanonicalDynamic
 		default:
 			return nil, fmt.Errorf("relm: unknown canonical strategy %d", q.Canonical)
 		}
 	case AllTokens:
-		c.token = compiler.CompileFull(charDFA, m.Tok)
+		token = compiler.CompileFull(charDFA, m.Tok)
 	default:
 		return nil, fmt.Errorf("relm: unknown tokenization strategy %d", q.Tokenization)
 	}
+	c.token = token.Freeze()
 	return c, nil
 }
 
@@ -118,6 +132,14 @@ type Plan struct {
 	// DeviceWorkers is the device-side scoring pool width configured via
 	// ModelOptions.Parallelism.
 	DeviceWorkers int
+	// PlanCacheHit reports whether this query's compilation was served from
+	// the model's plan cache (an identical plan was cached, or another
+	// in-flight query was compiling it). A hit means ~0 time was spent in
+	// regex/token compilation for this call.
+	PlanCacheHit bool
+	// PlanCache snapshots the model's plan-cache counters after this
+	// compilation resolved.
+	PlanCache PlanCacheStats
 	// Warnings lists conditions likely to make the query slow or empty.
 	Warnings []string
 }
@@ -135,6 +157,12 @@ func (p *Plan) String() string {
 	fmt.Fprintf(&b, "  traversal:        %s\n", strategyName(p.Strategy))
 	fmt.Fprintf(&b, "  execution:        batch %d, %d expansion workers, %d device workers\n",
 		p.BatchSize, p.Parallelism, p.DeviceWorkers)
+	hitMark := "miss (compiled now)"
+	if p.PlanCacheHit {
+		hitMark = "hit (compilation skipped)"
+	}
+	fmt.Fprintf(&b, "  plan cache:       %s; %d hits / %d misses, %d entries, %s compiling\n",
+		hitMark, p.PlanCache.Hits, p.PlanCache.Misses, p.PlanCache.Entries, p.PlanCache.CompileTime.Round(time.Microsecond))
 	for _, w := range p.Warnings {
 		fmt.Fprintf(&b, "  warning: %s\n", w)
 	}
@@ -187,7 +215,7 @@ func Explain(m *Model, q SearchQuery) (*Plan, error) {
 		return nil, errors.New("relm: model is incomplete")
 	}
 	applyDefaults(&q)
-	comp, err := compilePattern(m, q)
+	comp, hit, err := compileCached(m, &q)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +232,9 @@ func Explain(m *Model, q SearchQuery) (*Plan, error) {
 		BatchSize:         engine.EffectiveBatch(m.Dev, q.BatchExpand),
 		Parallelism:       engine.EffectiveParallelism(q.Parallelism),
 		DeviceWorkers:     m.Dev.Workers(),
+		PlanCacheHit:      hit,
 	}
+	p.PlanCache = m.PlanCacheStats()
 	p.LanguageSize = comp.char.LanguageSize(q.PatternMaxLen)
 	maxToks := q.MaxTokens
 	if maxToks <= 0 {
@@ -212,20 +242,17 @@ func Explain(m *Model, q SearchQuery) (*Plan, error) {
 	}
 	p.Encodings = compiler.CountEncodings(comp.token, maxToks)
 
-	if q.Query.Prefix != "" {
-		prefixChar, perr := regex.Compile(q.Query.Prefix)
-		if perr != nil {
-			return nil, fmt.Errorf("relm: prefix: %w", perr)
-		}
-		size := prefixChar.LanguageSize(q.PrefixMaxLen)
-		if size < 0 || size > int64(q.PrefixLimit) {
-			p.PrefixStrings = -1
+	prefix, err := compilePrefix(&q)
+	if err != nil {
+		return nil, err
+	}
+	if prefix != nil {
+		p.PrefixStrings = prefix.Size()
+		switch p.PrefixStrings {
+		case -1:
 			p.Warnings = append(p.Warnings, fmt.Sprintf("prefix language exceeds PrefixLimit=%d; Search will refuse deterministic traversals", q.PrefixLimit))
-		} else {
-			p.PrefixStrings = size
-			if size == 0 {
-				p.Warnings = append(p.Warnings, "prefix language is empty; Search will fail")
-			}
+		case 0:
+			p.Warnings = append(p.Warnings, "prefix language is empty; Search will fail")
 		}
 	}
 

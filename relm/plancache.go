@@ -1,0 +1,224 @@
+package relm
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PlanCacheStats snapshots a model's compiled-plan cache counters. The
+// paper's core claim is that regex-to-token-automaton compilation is the
+// expensive, amortizable part of a validation query; these counters make the
+// amortization observable — a serving layer exports them per model and
+// Explain reports them per query.
+type PlanCacheStats struct {
+	// Hits are compilations skipped because an identical plan was cached.
+	Hits int64 `json:"hits"`
+	// Misses are compilations actually performed (and cached).
+	Misses int64 `json:"misses"`
+	// Bypassed are queries that could not be keyed — a custom Preprocessor
+	// without a PlanKey — and compiled outside the cache.
+	Bypassed int64 `json:"bypassed"`
+	// Entries is the current number of cached plans.
+	Entries int `json:"entries"`
+	// CompileTime is the cumulative wall time spent compiling misses. On a
+	// warm cache it stops growing: repeat queries spend ~0 time compiling.
+	CompileTime time.Duration `json:"compile_ns"`
+}
+
+// planCache is a single-flight LRU over compiled plans, shared by every
+// session of a Model. Concurrent queries for the same key wait on the first
+// compilation instead of duplicating it; compile errors propagate to all
+// waiters and are not cached.
+type planCache struct {
+	cap int
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*planFlight
+
+	hits      int64
+	misses    int64
+	bypassed  int64
+	compileNS int64
+}
+
+type planEntry struct {
+	key string
+	c   *compiled
+}
+
+// planFlight is one in-progress compilation; the owner fills c/err and
+// closes done.
+type planFlight struct {
+	done chan struct{}
+	c    *compiled
+	err  error
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:      capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+		inflight: make(map[string]*planFlight),
+	}
+}
+
+// get returns the cached plan for key, compiling it with compile on a miss.
+// hit reports whether the plan was served without compiling in this call —
+// from the LRU or from another goroutine's in-flight compilation.
+func (pc *planCache) get(key string, compile func() (*compiled, error)) (c *compiled, hit bool, err error) {
+	pc.mu.Lock()
+	if el, ok := pc.entries[key]; ok {
+		pc.order.MoveToFront(el)
+		pc.hits++
+		pc.mu.Unlock()
+		return el.Value.(*planEntry).c, true, nil
+	}
+	if f, ok := pc.inflight[key]; ok {
+		pc.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			// The owner's compilation failed; nothing was served from a
+			// cached plan, so this is neither a hit nor a miss.
+			return nil, false, f.err
+		}
+		pc.mu.Lock()
+		pc.hits++
+		pc.mu.Unlock()
+		return f.c, true, nil
+	}
+	f := &planFlight{done: make(chan struct{})}
+	pc.inflight[key] = f
+	pc.misses++
+	pc.mu.Unlock()
+
+	start := time.Now()
+	// If compile panics (a defective custom preprocessor, say), the flight
+	// must still be resolved and removed before the panic propagates —
+	// otherwise the key wedges forever and every later identical query
+	// blocks on a done channel nobody will close. Same discipline as the
+	// logit cache's single-flight layer.
+	f.c, f.err = func() (c *compiled, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				f.err = fmt.Errorf("relm: plan compilation panicked: %v", p)
+				pc.mu.Lock()
+				delete(pc.inflight, key)
+				pc.mu.Unlock()
+				close(f.done)
+				panic(p)
+			}
+		}()
+		return compile()
+	}()
+	elapsed := time.Since(start)
+
+	pc.mu.Lock()
+	pc.compileNS += elapsed.Nanoseconds()
+	delete(pc.inflight, key)
+	if f.err == nil {
+		el := pc.order.PushFront(&planEntry{key: key, c: f.c})
+		pc.entries[key] = el
+		if pc.order.Len() > pc.cap {
+			last := pc.order.Back()
+			pc.order.Remove(last)
+			delete(pc.entries, last.Value.(*planEntry).key)
+		}
+	}
+	pc.mu.Unlock()
+	close(f.done)
+	return f.c, false, f.err
+}
+
+func (pc *planCache) noteBypass() {
+	pc.mu.Lock()
+	pc.bypassed++
+	pc.mu.Unlock()
+}
+
+func (pc *planCache) stats() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{
+		Hits:        pc.hits,
+		Misses:      pc.misses,
+		Bypassed:    pc.bypassed,
+		Entries:     pc.order.Len(),
+		CompileTime: time.Duration(pc.compileNS),
+	}
+}
+
+// PlanKeyer is the opt-in a Preprocessor implements to make queries using it
+// plan-cacheable. PlanKey must return a stable string that changes whenever
+// the preprocessor's language transformation would change; two preprocessors
+// with equal keys must produce identical automata from identical inputs. All
+// built-in preprocessors implement it. Queries containing a preprocessor
+// without a PlanKey bypass the cache (correct, just never amortized).
+type PlanKeyer interface {
+	PlanKey() string
+}
+
+// planKey derives the cache key for q's compilation products, or ok=false
+// when the query is not cacheable. The key covers exactly the inputs
+// compilePattern consumes: the pattern, the preprocessor chain, the
+// tokenization and canonical strategies with their budgets, and the
+// tokenizer fingerprint (a plan must never cross tokenizers — token IDs
+// would silently mean different strings).
+func planKey(m *Model, q *SearchQuery) (string, bool) {
+	// Normalize fields the selected compile branch never reads, so queries
+	// differing only in ignored knobs share one plan: AllTokens ignores the
+	// whole canonical configuration, and the pairwise/dynamic constructions
+	// ignore the enumeration budgets.
+	canon, climit, pmax := q.Canonical, q.CanonicalLimit, q.PatternMaxLen
+	if q.Tokenization == AllTokens {
+		canon, climit, pmax = 0, 0, 0
+	} else if canon == CanonicalPairwise || canon == CanonicalDynamic {
+		climit, pmax = 0, 0
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tok=%s;pat=%q;tz=%d;canon=%d;climit=%d;pmax=%d",
+		m.Tok.Fingerprint(), q.Query.Pattern, q.Tokenization, canon, climit, pmax)
+	for _, p := range q.Preprocessors {
+		k, ok := p.(PlanKeyer)
+		if !ok {
+			return "", false
+		}
+		fmt.Fprintf(&b, ";pp=%q", k.PlanKey())
+	}
+	return b.String(), true
+}
+
+// compileCached resolves q's compilation through the model's plan cache:
+// repeat and concurrent queries for the same (pattern, strategy, tokenizer,
+// preprocessor, budget) tuple share one immutable compiled plan. hit reports
+// whether this call skipped compilation.
+func compileCached(m *Model, q *SearchQuery) (c *compiled, hit bool, err error) {
+	if m.plans == nil {
+		c, err = compilePattern(m, *q)
+		return c, false, err
+	}
+	key, ok := planKey(m, q)
+	if !ok {
+		m.plans.noteBypass()
+		c, err = compilePattern(m, *q)
+		return c, false, err
+	}
+	return m.plans.get(key, func() (*compiled, error) { return compilePattern(m, *q) })
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic PlanKeys
+// over map-typed preprocessor configuration.
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,440 @@
+package relm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/compiler"
+	"repro/internal/regex"
+	"repro/internal/rewrite"
+)
+
+func TestPlanCacheHitOnRepeatQuery(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{Query: QueryString{Pattern: "(cat)|(dog)"}}
+
+	p1, err := Explain(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.PlanCacheHit {
+		t.Error("first query must be a cache miss")
+	}
+	s1 := m.PlanCacheStats()
+	if s1.Misses != 1 || s1.Hits != 0 || s1.Entries != 1 {
+		t.Fatalf("after first query: %+v", s1)
+	}
+	if s1.CompileTime <= 0 {
+		t.Error("miss must record compile time")
+	}
+
+	p2, err := Explain(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.PlanCacheHit {
+		t.Error("repeat query must hit the plan cache")
+	}
+	s2 := m.PlanCacheStats()
+	if s2.Misses != 1 || s2.Hits != 1 {
+		t.Fatalf("after repeat query: %+v", s2)
+	}
+	// The benchmark-gate property: a cached repeat spends ~0 time compiling —
+	// the cumulative compile clock must not advance on a hit.
+	if s2.CompileTime != s1.CompileTime {
+		t.Errorf("hit advanced the compile clock: %v -> %v", s1.CompileTime, s2.CompileTime)
+	}
+	// The cached plan must describe the same automaton.
+	if p1.TokenStates != p2.TokenStates || p1.TokenEdges != p2.TokenEdges {
+		t.Errorf("cached plan differs: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestPlanCacheSearchSharesCompiledPlan(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{Query: QueryString{Pattern: "The (cat|dog) sat on the mat"}}
+	for i := 0; i < 3; i++ {
+		results, err := Search(m, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches := results.Take(5)
+		results.Close()
+		if len(matches) != 2 {
+			t.Fatalf("run %d: got %d matches, want 2", i, len(matches))
+		}
+	}
+	s := m.PlanCacheStats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("3 identical searches should compile once: %+v", s)
+	}
+}
+
+func TestPlanCacheKeySeparatesQueries(t *testing.T) {
+	m := testModel(t)
+	base := SearchQuery{Query: QueryString{Pattern: "(cat)|(dog)"}}
+	variants := []SearchQuery{
+		base,
+		{Query: QueryString{Pattern: "(cat)|(dog)"}, Tokenization: AllTokens},
+		{Query: QueryString{Pattern: "(cat)|(dog)"}, Canonical: CanonicalPairwise},
+		{Query: QueryString{Pattern: "(cat)|(dog)"}, PatternMaxLen: 32},
+		{Query: QueryString{Pattern: "(cat)|(dog)"}, Preprocessors: []Preprocessor{PrependLiteral{Lit: "a "}}},
+		{Query: QueryString{Pattern: "(cat)|(dogs)"}},
+	}
+	for _, q := range variants {
+		if _, err := Explain(m, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.PlanCacheStats()
+	if s.Misses != int64(len(variants)) {
+		t.Fatalf("each distinct compile input must miss once: %+v", s)
+	}
+	if s.Entries != len(variants) {
+		t.Fatalf("entries = %d, want %d", s.Entries, len(variants))
+	}
+	// Prefix and traversal knobs are NOT part of the compiled plan: varying
+	// them must hit.
+	for _, q := range []SearchQuery{
+		{Query: QueryString{Pattern: "(cat)|(dog)", Prefix: "The "}},
+		{Query: QueryString{Pattern: "(cat)|(dog)"}, Strategy: BeamSearch, BeamWidth: 4},
+		{Query: QueryString{Pattern: "(cat)|(dog)"}, TopK: 7},
+	} {
+		if _, err := Explain(m, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := m.PlanCacheStats()
+	if s2.Misses != s.Misses {
+		t.Fatalf("prefix/strategy/rule knobs must not force recompilation: %+v", s2)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	m := testModel(t)
+	m.plans = newPlanCache(2)
+	for _, pat := range []string{"cat", "dog", "mat"} {
+		if _, err := Explain(m, SearchQuery{Query: QueryString{Pattern: pat}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.PlanCacheStats()
+	if s.Entries != 2 {
+		t.Fatalf("entries = %d, want cap 2", s.Entries)
+	}
+	// "cat" was evicted; re-explaining it misses again.
+	if _, err := Explain(m, SearchQuery{Query: QueryString{Pattern: "cat"}}); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := m.PlanCacheStats(); s2.Misses != 4 {
+		t.Fatalf("evicted entry must recompile: %+v", s2)
+	}
+}
+
+func TestPlanCacheSingleFlight(t *testing.T) {
+	m := testModel(t)
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results, err := Search(m, SearchQuery{Query: QueryString{Pattern: " ([0-9]{3}) ([0-9]{3})"}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results.Take(2)
+			results.Close()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.PlanCacheStats()
+	if s.Misses != 1 {
+		t.Fatalf("concurrent identical queries must compile once (single-flight): %+v", s)
+	}
+	if s.Hits != workers-1 {
+		t.Fatalf("hits = %d, want %d", s.Hits, workers-1)
+	}
+}
+
+// TestConcurrentSearchSharesFrozenPlan drives many goroutines through one
+// shared compiled plan end to end and checks they all see identical results —
+// the -race companion to the automaton-level shared-traversal test, through
+// the full stack (plan cache -> frozen automaton -> engine).
+func TestConcurrentSearchSharesFrozenPlan(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{Query: QueryString{Pattern: "The (cat|dog) sat on the mat"}}
+	// Warm the cache so every goroutine traverses the same frozen plan.
+	if _, err := Explain(m, q); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	got := make([][]string, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results, err := Search(m, q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer results.Close()
+			for _, match := range results.Take(5) {
+				got[i] = append(got[i], fmt.Sprintf("%s@%.6f", match.Text, match.LogProb))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if strings.Join(got[i], "|") != strings.Join(got[0], "|") {
+			t.Fatalf("worker %d diverged:\n%v\nvs\n%v", i, got[i], got[0])
+		}
+	}
+	if len(got[0]) != 2 {
+		t.Fatalf("got %d matches, want 2", len(got[0]))
+	}
+}
+
+// opaquePreprocessor lacks a PlanKey, so queries using it must bypass the
+// cache rather than collide on an under-specified key.
+type opaquePreprocessor struct{}
+
+func (opaquePreprocessor) Transform(d *automaton.DFA) (*automaton.DFA, error) { return d, nil }
+func (opaquePreprocessor) Name() string                                       { return "opaque" }
+
+func TestPlanCacheBypassForUnkeyedPreprocessor(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{
+		Query:         QueryString{Pattern: "cat"},
+		Preprocessors: []Preprocessor{opaquePreprocessor{}},
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := Explain(m, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.PlanCacheStats()
+	if s.Bypassed != 2 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("unkeyed preprocessor must bypass the cache: %+v", s)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	m := testModel(t)
+	m.plans = nil // as ModelOptions{PlanCacheSize: -1} arranges
+	for i := 0; i < 2; i++ {
+		p, err := Explain(m, SearchQuery{Query: QueryString{Pattern: "cat"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PlanCacheHit {
+			t.Error("disabled cache cannot hit")
+		}
+	}
+	if s := m.PlanCacheStats(); s != (PlanCacheStats{}) {
+		t.Fatalf("disabled cache must report zero stats: %+v", s)
+	}
+}
+
+func TestSessionsShareModelPlanCache(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{Query: QueryString{Pattern: "(cat)|(dog)"}}
+	for i := 0; i < 3; i++ {
+		sess := m.NewSession()
+		results, err := Search(sess.Model, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results.Take(2)
+		results.Close()
+	}
+	s := m.PlanCacheStats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("sessions must share the model's plan cache: %+v", s)
+	}
+}
+
+// inflatePreprocessor returns a language-equivalent but non-minimal
+// automaton (the start state is duplicated), standing in for preprocessors
+// whose constructions do not minimize. It exercises the compile pipeline's
+// minimization boundary.
+type inflatePreprocessor struct{}
+
+func (inflatePreprocessor) Name() string    { return "inflate" }
+func (inflatePreprocessor) PlanKey() string { return "inflate" }
+func (inflatePreprocessor) Transform(d *automaton.DFA) (*automaton.DFA, error) {
+	out := automaton.NewDFA()
+	for i := 0; i < d.NumStates(); i++ {
+		out.AddState(d.Accepting(i))
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		for _, e := range d.Edges(s) {
+			out.AddEdge(s, e.Sym, e.To)
+		}
+	}
+	dup := out.AddState(d.Accepting(d.Start()))
+	for _, e := range d.Edges(d.Start()) {
+		out.AddEdge(dup, e.Sym, e.To)
+	}
+	out.SetStart(dup)
+	return out, nil
+}
+
+// TestPlanMinimizesTokenAutomaton asserts the satellite claim: compilePattern
+// minimizes before token compilation, so plan state counts shrink relative
+// to compiling the preprocessor's raw (non-minimal) output — which is what
+// the old pipeline did.
+func TestPlanMinimizesTokenAutomaton(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{
+		Query:         QueryString{Pattern: "(the cat )*sat"},
+		Tokenization:  AllTokens,
+		Preprocessors: []Preprocessor{inflatePreprocessor{}},
+	}
+	p, err := Explain(m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild what the pre-minimization pipeline produced: the inflated char
+	// automaton compiled to tokens directly.
+	char := regex.MustCompile(q.Query.Pattern)
+	inflated, err := inflatePreprocessor{}.Transform(char)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := compiler.CompileFull(inflated, m.Tok)
+	if p.TokenStates >= raw.NumStates() {
+		t.Fatalf("plan token automaton not minimized: %d states, raw pipeline %d", p.TokenStates, raw.NumStates())
+	}
+	if p.CharStates >= inflated.NumStates() {
+		t.Fatalf("plan char automaton not minimized: %d states, inflated %d", p.CharStates, inflated.NumStates())
+	}
+}
+
+// BenchmarkPlanCacheHit measures the per-query cost of a warm repeat query's
+// compile resolution — the amortization the paper's serving story is about.
+// The miss arm compiles the same pattern into a fresh cache every iteration.
+// CI uploads the results as BENCH_pr3.json.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	m := testModel(b)
+	q := SearchQuery{Query: QueryString{Pattern: " ([0-9]{3}) ([0-9]{3}) ([0-9]{4})"}}
+	applyDefaults(&q)
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.plans = newPlanCache(128)
+			if _, _, err := compileCached(m, &q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		m.plans = newPlanCache(128)
+		if _, _, err := compileCached(m, &q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := compileCached(m, &q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestPlanKeyRuleAmbiguity is the regression test for a key-collision bug:
+// formatting rewrite rules with %v collapsed {From:"a b",To:"c"} and
+// {From:"a",To:"b c"} into one key, serving one query another query's
+// compiled automaton.
+func TestPlanKeyRuleAmbiguity(t *testing.T) {
+	a := RewriteRules{Rules: []rewrite.Rule{{From: "a b", To: "c"}}}
+	b := RewriteRules{Rules: []rewrite.Rule{{From: "a", To: "b c"}}}
+	if a.PlanKey() == b.PlanKey() {
+		t.Fatalf("distinct rule sets share a plan key: %q", a.PlanKey())
+	}
+	h1 := HomoglyphExpand{Rules: []rewrite.Rule{{From: "o 0", To: "x"}}}
+	h2 := HomoglyphExpand{Rules: []rewrite.Rule{{From: "o", To: "0 x"}}}
+	if h1.PlanKey() == h2.PlanKey() {
+		t.Fatalf("distinct homoglyph rule sets share a plan key: %q", h1.PlanKey())
+	}
+}
+
+// panicPreprocessor compiles by panicking, modeling a defective custom
+// preprocessor behind a valid PlanKey.
+type panicPreprocessor struct{}
+
+func (panicPreprocessor) Transform(*automaton.DFA) (*automaton.DFA, error) { panic("boom") }
+func (panicPreprocessor) Name() string                                     { return "panic" }
+func (panicPreprocessor) PlanKey() string                                  { return "panic" }
+
+// TestPlanCachePanicUnwedges asserts a compile panic resolves its
+// single-flight entry: later identical queries must re-attempt (and
+// re-panic) rather than block forever on a done channel nobody closes.
+func TestPlanCachePanicUnwedges(t *testing.T) {
+	m := testModel(t)
+	q := SearchQuery{Query: QueryString{Pattern: "cat"}, Preprocessors: []Preprocessor{panicPreprocessor{}}}
+	attempt := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		_, _ = Explain(m, q)
+		return false
+	}
+	if !attempt() {
+		t.Fatal("first query should panic")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- attempt() }()
+	select {
+	case panicked := <-done:
+		if !panicked {
+			t.Fatal("second query should re-panic on a fresh compile")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("plan cache wedged after a compile panic")
+	}
+}
+
+// TestPlanKeyNormalizesIgnoredKnobs asserts queries differing only in fields
+// the selected compile branch ignores share one plan: AllTokens never reads
+// the canonical configuration, and pairwise/dynamic never read the
+// enumeration budgets.
+func TestPlanKeyNormalizesIgnoredKnobs(t *testing.T) {
+	m := testModel(t)
+	pairs := [][2]SearchQuery{
+		{
+			{Query: QueryString{Pattern: "cat"}, Tokenization: AllTokens},
+			{Query: QueryString{Pattern: "cat"}, Tokenization: AllTokens, Canonical: CanonicalPairwise, CanonicalLimit: 7, PatternMaxLen: 9},
+		},
+		{
+			{Query: QueryString{Pattern: "dog"}, Canonical: CanonicalPairwise},
+			{Query: QueryString{Pattern: "dog"}, Canonical: CanonicalPairwise, CanonicalLimit: 7, PatternMaxLen: 9},
+		},
+	}
+	for i, pair := range pairs {
+		before := m.PlanCacheStats()
+		for _, q := range pair {
+			if _, err := Explain(m, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after := m.PlanCacheStats()
+		if after.Misses != before.Misses+1 || after.Hits != before.Hits+1 {
+			t.Fatalf("pair %d: ignored knobs forced recompilation: %+v -> %+v", i, before, after)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package relm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/model"
+	"repro/internal/regex"
+	"repro/internal/tokenizer"
+)
+
+// prefixLanguage is the compiled prefix regex together with its resolved
+// enumeration budget — the §3.4 prefix handling that Search, Explain, and
+// Mass previously each reimplemented. The prefix is itself a regex; its
+// strings are enumerated (budget permitting) and canonically encoded, except
+// for random sampling, which draws walks from Char directly.
+type prefixLanguage struct {
+	// Char is the byte-alphabet automaton of the prefix regex.
+	Char   *automaton.DFA
+	limit  int
+	maxLen int
+
+	size  int64
+	sized bool
+}
+
+// compilePrefix compiles q's prefix regex. It returns (nil, nil) when the
+// query has no prefix; the only error is a malformed prefix regex. Callers
+// must have run applyDefaults first so PrefixLimit and PrefixMaxLen are
+// resolved.
+func compilePrefix(q *SearchQuery) (*prefixLanguage, error) {
+	if q.Query.Prefix == "" {
+		return nil, nil
+	}
+	char, err := regex.Compile(q.Query.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("relm: prefix: %w", err)
+	}
+	return &prefixLanguage{Char: char, limit: q.PrefixLimit, maxLen: q.PrefixMaxLen}, nil
+}
+
+// Size is the exact string count within the byte budget, or -1 when the
+// language is unbounded or exceeds the enumeration limit. Computed lazily —
+// the walk-counting DP costs O(maxLen · edges) big-int additions, and the
+// random-sampling path never needs it — then memoized.
+func (p *prefixLanguage) Size() int64 {
+	if !p.sized {
+		p.size = p.Char.LanguageSize(p.maxLen)
+		if p.size < 0 || p.size > int64(p.limit) {
+			p.size = -1
+		}
+		p.sized = true
+	}
+	return p.size
+}
+
+// Encode enumerates the prefix language and canonically encodes every string
+// for the model context. It errors when the language exceeds the budget
+// (deterministic traversals refuse oversized prefix sets; size checking
+// happens via walk counting before enumeration, so a huge language never
+// explodes the BFS frontier) or is empty.
+func (p *prefixLanguage) Encode(tok *tokenizer.BPE) ([][]model.Token, error) {
+	if p.Size() < 0 {
+		return nil, fmt.Errorf("relm: prefix language exceeds %d strings; restrict the prefix or raise PrefixLimit", p.limit)
+	}
+	strs := p.Char.EnumerateStrings(p.maxLen, p.limit+1)
+	if len(strs) == 0 {
+		return nil, errors.New("relm: prefix language is empty")
+	}
+	out := make([][]model.Token, len(strs))
+	for i, s := range strs {
+		out[i] = tok.Encode(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package relm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+func prefixQuery(prefix string) SearchQuery {
+	q := SearchQuery{Query: QueryString{Pattern: "x", Prefix: prefix}}
+	applyDefaults(&q)
+	return q
+}
+
+func TestCompilePrefixNoPrefix(t *testing.T) {
+	q := prefixQuery("")
+	p, err := compilePrefix(&q)
+	if err != nil || p != nil {
+		t.Fatalf("no prefix must yield (nil, nil), got (%v, %v)", p, err)
+	}
+}
+
+func TestCompilePrefixBadRegex(t *testing.T) {
+	q := prefixQuery("(")
+	if _, err := compilePrefix(&q); err == nil {
+		t.Fatal("malformed prefix must error")
+	}
+}
+
+func TestCompilePrefixEnumerates(t *testing.T) {
+	tok := tokenizer.Train([]string{"ab ac"}, 10)
+	q := prefixQuery("a[bc]")
+	p, err := compilePrefix(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("size = %d, want 2", p.Size())
+	}
+	seqs, err := p.Encode(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("encoded %d prefixes, want 2", len(seqs))
+	}
+	for i, want := range []string{"ab", "ac"} {
+		if got := tok.Decode(seqs[i]); got != want {
+			t.Errorf("prefix %d decodes to %q, want %q (shortlex order)", i, got, want)
+		}
+	}
+}
+
+func TestCompilePrefixOverBudget(t *testing.T) {
+	q := prefixQuery("[a-z]{8}")
+	q.PrefixLimit = 100
+	p, err := compilePrefix(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != -1 {
+		t.Fatalf("size = %d, want -1 for an over-budget language", p.Size())
+	}
+	tok := tokenizer.Train([]string{"abc"}, 5)
+	if _, err := p.Encode(tok); err == nil || !strings.Contains(err.Error(), "exceeds 100 strings") {
+		t.Fatalf("over-budget Encode error = %v", err)
+	}
+}
+
+func TestCompilePrefixUnboundedLanguage(t *testing.T) {
+	q := prefixQuery("a+")
+	p, err := compilePrefix(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a+ has one string per length up to PrefixMaxLen=128, under the default
+	// 4096 limit — bounded enumeration of a cyclic automaton.
+	if p.Size() != 128 {
+		t.Fatalf("size = %d, want 128", p.Size())
+	}
+}
+
+func TestCompilePrefixEmptyLanguage(t *testing.T) {
+	q := prefixQuery("a[0-9]")
+	q.PrefixMaxLen = 1 // no string of the language fits in 1 byte
+	p, err := compilePrefix(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("size = %d, want 0", p.Size())
+	}
+	tok := tokenizer.Train([]string{"abc"}, 5)
+	if _, err := p.Encode(tok); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty-language Encode error = %v", err)
+	}
+}

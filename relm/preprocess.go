@@ -2,6 +2,7 @@ package relm
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/automaton"
 	"repro/internal/levenshtein"
@@ -30,6 +31,17 @@ func (s SynonymExpand) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 // Name implements Preprocessor.
 func (s SynonymExpand) Name() string { return "synonym-expand" }
 
+// PlanKey implements PlanKeyer; map keys are sorted so the key is stable
+// across iteration orders.
+func (s SynonymExpand) PlanKey() string {
+	var b strings.Builder
+	b.WriteString("synonym")
+	for _, k := range sortedKeys(s.Variants) {
+		fmt.Fprintf(&b, ":%q=%q", k, s.Variants[k])
+	}
+	return b.String()
+}
+
 // HomoglyphExpand widens the pattern with character-confusable (leet-speak)
 // substitutions — the masking strategy the toxicity study observes in
 // extracted content (§4.3: special characters and phonetic misspellings in
@@ -51,6 +63,27 @@ func (h HomoglyphExpand) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 
 // Name implements Preprocessor.
 func (h HomoglyphExpand) Name() string { return "homoglyph-expand" }
+
+// PlanKey implements PlanKeyer. A nil rule set resolves to the default
+// table, which is fixed at build time, so "default" is a stable key for it.
+func (h HomoglyphExpand) PlanKey() string {
+	if h.Rules == nil {
+		return "homoglyph:default"
+	}
+	return "homoglyph:" + ruleKey(h.Rules)
+}
+
+// ruleKey renders rewrite rules unambiguously: %q-quoting each side keeps
+// {From:"a b", To:"c"} and {From:"a", To:"b c"} distinct, which plain %v
+// would collapse — and colliding plan-cache keys would serve one query
+// another query's compiled automaton.
+func ruleKey(rules []rewrite.Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		fmt.Fprintf(&b, "%q>%q;", r.From, r.To)
+	}
+	return b.String()
+}
 
 // CaseVariants makes the leading character of each listed word optionally
 // flip case wherever the word occurs in the pattern, so "the cat" also
@@ -77,6 +110,9 @@ func (c CaseVariants) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 // Name implements Preprocessor.
 func (c CaseVariants) Name() string { return "case-variants" }
 
+// PlanKey implements PlanKeyer.
+func (c CaseVariants) PlanKey() string { return fmt.Sprintf("case-variants:%q", c.Words) }
+
 // RewriteRules applies caller-supplied optional rewrite rules directly — the
 // generic transducer preprocessor of §3.4. Obligatory selects the functional
 // variant in which matched occurrences must be rewritten.
@@ -99,6 +135,11 @@ func (r RewriteRules) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 // Name implements Preprocessor.
 func (r RewriteRules) Name() string { return "rewrite-rules" }
 
+// PlanKey implements PlanKeyer.
+func (r RewriteRules) PlanKey() string {
+	return fmt.Sprintf("rewrite:%v:%s", r.Obligatory, ruleKey(r.Rules))
+}
+
 // RequireMatch intersects the pattern language with another regular
 // expression — the algebraic composition §2.3 describes. Useful to impose a
 // side constraint (e.g. "must also contain a digit") without rewriting the
@@ -118,6 +159,9 @@ func (r RequireMatch) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 
 // Name implements Preprocessor.
 func (r RequireMatch) Name() string { return "require-match" }
+
+// PlanKey implements PlanKeyer.
+func (r RequireMatch) PlanKey() string { return fmt.Sprintf("require:%q", r.Pattern) }
 
 // ExcludeMatch subtracts another regular expression from the pattern
 // language — the regex-level generalization of RemoveWords (a filter in the
@@ -142,3 +186,6 @@ func (e ExcludeMatch) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 
 // Name implements Preprocessor.
 func (e ExcludeMatch) Name() string { return "exclude-match" }
+
+// PlanKey implements PlanKeyer.
+func (e ExcludeMatch) PlanKey() string { return fmt.Sprintf("exclude:%q", e.Pattern) }

@@ -189,6 +189,11 @@ type Model struct {
 	// and the raw model (nil when caching is disabled). Sessions derive
 	// attribution scopes from it.
 	cache *cache.LM
+	// plans is the compiled-plan cache shared by the model and every session
+	// derived from it (nil when plan caching is disabled). Repeat and
+	// concurrent queries for the same pattern share one immutable frozen
+	// automaton instead of recompiling it.
+	plans *planCache
 }
 
 // ModelOptions configures device simulation, caching, and scoring
@@ -210,6 +215,11 @@ type ModelOptions struct {
 	// process instead of per-query goroutines (DESIGN.md decision 8). It
 	// overrides Parallelism's transient workers.
 	Pool *device.Pool
+	// PlanCacheSize bounds the compiled-plan LRU cache (0: 128; negative:
+	// no plan caching). Compilation is the expensive, amortizable part of a
+	// validation query (DESIGN.md decision 9); the cache is single-flight,
+	// so concurrent identical queries compile once.
+	PlanCacheSize int
 }
 
 // NewModel wraps a language model and tokenizer for querying.
@@ -233,11 +243,19 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 	if opts.Pool != nil {
 		dev.SetPool(opts.Pool)
 	}
+	if opts.PlanCacheSize == 0 {
+		opts.PlanCacheSize = 128
+	}
+	var plans *planCache
+	if opts.PlanCacheSize > 0 {
+		plans = newPlanCache(opts.PlanCacheSize)
+	}
 	return &Model{
 		LM:    lm,
 		Tok:   tok,
 		Dev:   dev,
 		cache: shared,
+		plans: plans,
 	}
 }
 
@@ -245,6 +263,29 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 // caching was disabled. Serving layers read its aggregate hit/miss counters
 // for observability.
 func (m *Model) Cache() *cache.LM { return m.cache }
+
+// PlanCacheStats snapshots the compiled-plan cache counters. Zero-valued
+// when plan caching is disabled.
+func (m *Model) PlanCacheStats() PlanCacheStats {
+	if m.plans == nil {
+		return PlanCacheStats{}
+	}
+	return m.plans.stats()
+}
+
+// PlanCacheProbe returns a reader over this model's plan-cache counters that
+// does not retain the model itself: the closure captures only the (small,
+// LRU-bounded) plan cache, so long-running aggregators can keep probes for
+// every model they ever saw without pinning logit caches and model weights.
+func (m *Model) PlanCacheProbe() func() PlanCacheStats {
+	pc := m.plans
+	return func() PlanCacheStats {
+		if pc == nil {
+			return PlanCacheStats{}
+		}
+		return pc.stats()
+	}
+}
 
 // Session is a per-query view of a shared Model: queries run through the
 // same device (one virtual accelerator, one clock, one worker pool) and the
@@ -271,6 +312,7 @@ func (m *Model) NewSession() *Session {
 			Tok:   m.Tok,
 			Dev:   m.Dev.WithModel(scope),
 			cache: m.cache,
+			plans: m.plans, // sessions share the model's compiled plans
 		},
 		scope: scope,
 	}
@@ -422,8 +464,11 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 	applyDefaults(&q)
 
 	// 1–2. Pattern compilation: regex -> char DFA -> preprocessors -> token
-	// automaton per the tokenization strategy.
-	comp, err := compilePattern(m, q)
+	// automaton per the tokenization strategy. Served from the model's plan
+	// cache when an identical query compiled before (DESIGN.md decision 9);
+	// the compiled plan is immutable, so cache hits share it safely across
+	// concurrent traversals.
+	comp, _, err := compileCached(m, &q)
 	if err != nil {
 		return nil, err
 	}
@@ -442,34 +487,20 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 
 	// 3. Prefix handling: the prefix is itself a regex (§3.4); its strings
 	// are enumerated and canonically encoded. Prefixes bypass decision rules.
-	var prefixChar *automaton.DFA
-	if q.Query.Prefix != "" {
-		prefixChar, err = regex.Compile(q.Query.Prefix)
-		if err != nil {
-			return nil, fmt.Errorf("relm: prefix: %w", err)
-		}
+	prefix, err := compilePrefix(&q)
+	if err != nil {
+		return nil, err
 	}
 
 	newResults := func(stream engine.Stream) *Results {
 		return &Results{stream: stream, tok: m.Tok, filters: q.DeferredFilters, dedup: q.DedupByText}
 	}
 	enumeratePrefixes := func() error {
-		if prefixChar == nil {
+		if prefix == nil {
 			return nil
 		}
-		// Size check via walk counting before enumerating (a huge prefix
-		// language would otherwise explode the BFS frontier).
-		if size := prefixChar.LanguageSize(q.PrefixMaxLen); size < 0 || size > int64(q.PrefixLimit) {
-			return fmt.Errorf("relm: prefix language exceeds %d strings; restrict the prefix or raise PrefixLimit", q.PrefixLimit)
-		}
-		strs := prefixChar.EnumerateStrings(q.PrefixMaxLen, q.PrefixLimit+1)
-		if len(strs) == 0 {
-			return errors.New("relm: prefix language is empty")
-		}
-		for _, s := range strs {
-			eq.Prefixes = append(eq.Prefixes, m.Tok.Encode(s))
-		}
-		return nil
+		eq.Prefixes, err = prefix.Encode(m.Tok)
+		return err
 	}
 
 	switch q.Strategy {
@@ -487,12 +518,12 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 
 	case RandomSampling:
 		opts := engine.SamplerOptions{Rng: rand.New(rand.NewSource(q.Seed))}
-		if prefixChar != nil {
+		if prefix != nil {
 			// Sample prefixes uniformly over the *byte-level* prefix
 			// automaton (each string is exactly one byte path, giving the
 			// uniform-over-strings semantics of §3.3), then encode the
 			// sampled string canonically for the model context.
-			opts.PrefixDFA = prefixChar
+			opts.PrefixDFA = prefix.Char
 			opts.PrefixMaxLen = q.PrefixMaxLen
 			opts.PrefixEncode = func(s string) []model.Token { return m.Tok.Encode(s) }
 		}
@@ -573,6 +604,16 @@ func (e EditDistance) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 // Name implements Preprocessor.
 func (e EditDistance) Name() string { return fmt.Sprintf("edit-distance-%d", e.K) }
 
+// PlanKey implements PlanKeyer: the edit configuration is K plus the exact
+// edit alphabet. Transform treats a nil alphabet as printable ASCII, so nil
+// must key differently from an explicit empty alphabet.
+func (e EditDistance) PlanKey() string {
+	if e.Alphabet == nil {
+		return fmt.Sprintf("edit:%d:default", e.K)
+	}
+	return fmt.Sprintf("edit:%d:%q", e.K, e.Alphabet)
+}
+
 // RemoveWords is the filter preprocessor: it subtracts the given literal
 // strings from the language (§3.4: filters "remove stop words or toxic
 // content from a query by mapping those strings to the empty string").
@@ -616,6 +657,11 @@ func (r RemoveWords) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 // Name implements Preprocessor.
 func (r RemoveWords) Name() string { return "remove-words" }
 
+// PlanKey implements PlanKeyer.
+func (r RemoveWords) PlanKey() string {
+	return fmt.Sprintf("remove-words:%v:%q", r.IgnoreCase, r.Words)
+}
+
 // PrependLiteral rewrites the language to lit·L, useful for adding a leading
 // space or tag to every string in a pattern.
 type PrependLiteral struct{ Lit string }
@@ -631,3 +677,6 @@ func (p PrependLiteral) Transform(d *automaton.DFA) (*automaton.DFA, error) {
 
 // Name implements Preprocessor.
 func (p PrependLiteral) Name() string { return "prepend-literal" }
+
+// PlanKey implements PlanKeyer.
+func (p PrependLiteral) PlanKey() string { return fmt.Sprintf("prepend:%q", p.Lit) }

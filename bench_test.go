@@ -533,6 +533,48 @@ func BenchmarkAblationModelFamilies(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalDecode compares frontier expansion on the transformer
+// at depth >= 32 (DESIGN.md decision 10): the full-forward arm re-scores
+// every child's whole prefix through ScoreBatch; the prefill+extend arm
+// reuses the parent's KV state and pays one token per child. The speed gate
+// (TestIncrementalSpeedGate, internal/model) demands >= 3x; this bench
+// tracks the actual ratio across commits via the CI bench smoke.
+func BenchmarkIncrementalDecode(b *testing.B) {
+	lines := []string{
+		"the cat sat on the mat",
+		"the dog ran in the park",
+		"the bird flew over the park",
+	}
+	tok := tokenizer.Train(lines, 80)
+	lm := model.TrainTransformer(lines, tok, model.TransformerConfig{
+		DModel: 32, NHeads: 2, NLayers: 2, MaxSeqLen: 48, Epochs: 1, Seed: 5,
+	})
+	const depth, width = 32, 8
+	ctx := make([]model.Token, depth)
+	for i := range ctx {
+		ctx[i] = model.Token(i % tok.VocabSize())
+	}
+	parent, _ := lm.Prefill(ctx)
+	states := make([]model.DecodeState, width)
+	toks := make([]model.Token, width)
+	full := make([][]model.Token, width)
+	for i := 0; i < width; i++ {
+		states[i] = parent
+		toks[i] = model.Token(i + 1)
+		full[i] = append(append([]model.Token{}, ctx...), toks[i])
+	}
+	b.Run("full-forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lm.ScoreBatch(full)
+		}
+	})
+	b.Run("prefill-extend", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lm.ExtendBatch(states, toks)
+		}
+	})
+}
+
 // BenchmarkTransformerNextLogProbs prices a single inference step of the
 // from-scratch transformer at the default configuration.
 func BenchmarkTransformerNextLogProbs(b *testing.B) {

@@ -77,12 +77,14 @@ func main() {
 		}
 		ran++
 		before := env.PlanStats()
+		kvBefore := env.KVStats()
 		start := time.Now()
 		if err := e.run(env); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
 		reportSplit(e.id, time.Since(start), before, env.PlanStats())
+		reportKV(e.id, kvBefore, env.KVStats())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *expFlag)
@@ -108,6 +110,20 @@ func reportSplit(id string, wall time.Duration, before, after relm.PlanCacheStat
 	fmt.Printf("[%s] wall %v | compile %v (%.1f%%) | traverse+score %v | plan cache +%d hits / +%d misses\n",
 		id, wall.Round(time.Millisecond), compile.Round(time.Millisecond), pct,
 		traverse.Round(time.Millisecond), after.Hits-before.Hits, after.Misses-before.Misses)
+}
+
+// reportKV prints the experiment's prefix-state reuse split (DESIGN.md
+// decision 10): how many frontier expansions rode a cached parent state
+// versus recomputed, and the arena's pressure. Silent when the experiment
+// ran no incremental queries.
+func reportKV(id string, before, after relm.KVStats) {
+	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+	if hits == 0 && misses == 0 {
+		return
+	}
+	evict := after.Evictions - before.Evictions
+	fmt.Printf("[%s] kv arena +%d state hits / +%d misses | +%d evictions | resident %d B\n",
+		id, hits, misses, evict, after.ResidentBytes)
 }
 
 func registry() []experiment {

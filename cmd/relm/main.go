@@ -44,6 +44,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the query plan instead of executing")
 	artifacts := flag.String("artifacts", "", "load tokenizer.json and model.json from this directory (from relm-train) instead of retraining")
 	batch := flag.Int("batch", 0, "frontier batch size per device round (0 = device batch limit, 1 = sequential expansion)")
+	incremental := flag.Bool("incremental", false, "KV-cache prefix-state reuse across the frontier (byte-identical results; effective on prefix-stateful models, e.g. -artifacts from relm-train -arch transformer)")
 	par := flag.Int("parallelism", runtime.NumCPU(), "worker-pool width for batch scoring and frontier expansion (1 = serial); random-strategy draws depend on (seed, parallelism), so -strategy random keeps parallelism 1 unless this flag is set explicitly")
 	flag.Parse()
 	parSet := false
@@ -96,6 +97,7 @@ func main() {
 		Seed:        *seed,
 		BatchExpand: *batch,
 		Parallelism: *par,
+		Incremental: *incremental,
 	}
 	if *strategy == "random" {
 		q.Strategy = relm.RandomSampling
@@ -147,4 +149,8 @@ func main() {
 	ds := m.Dev.Stats()
 	fmt.Printf("virtual device time: %v   utilization: %.0f%%   batches: %d\n",
 		ds.Clock, ds.Utilization*100, ds.Batches)
+	if kv := m.KVStats(); kv.Hits+kv.Misses > 0 {
+		fmt.Printf("kv arena: %d state hits   %d misses   %d evictions   resident %d B\n",
+			kv.Hits, kv.Misses, kv.Evictions, kv.ResidentBytes)
+	}
 }

@@ -33,6 +33,9 @@ type LM struct {
 	// owner fills lp and closes done; waiters read lp afterwards. Entries
 	// are removed once resolved, so the map stays batch-sized.
 	inflight map[string]*flight
+	// inflightAll is the sequence-level single flight for whole-sequence
+	// all-positions scoring (incremental.go).
+	inflightAll map[string]*allFlight
 
 	hits    int64
 	misses  int64
@@ -57,11 +60,12 @@ func New(inner model.LanguageModel, capacity int) *LM {
 		capacity = 4096
 	}
 	return &LM{
-		inner:    inner,
-		cap:      capacity,
-		entries:  make(map[string]*list.Element, capacity),
-		order:    list.New(),
-		inflight: make(map[string]*flight),
+		inner:       inner,
+		cap:         capacity,
+		entries:     make(map[string]*list.Element, capacity),
+		order:       list.New(),
+		inflight:    make(map[string]*flight),
+		inflightAll: make(map[string]*allFlight),
 	}
 }
 
@@ -118,17 +122,21 @@ func (c *LM) scoreBatch(ctxs [][]model.Token) ([][]float64, BatchStats) {
 	var owned []ownRef
 	missCtxs := make([][]model.Token, 0, len(ctxs))
 
+	// One pooled key buffer serves every row: hits and flight-waits index the
+	// maps with string(buf) — the compiler elides the conversion allocation
+	// for lookups — so only misses this call owns materialize a key string.
+	buf := keyBufPool.Get().(*[]byte)
 	c.mu.Lock()
 	for i, ctx := range ctxs {
-		key := model.Key(ctx)
-		if el, ok := c.entries[key]; ok {
+		*buf = model.AppendKey((*buf)[:0], ctx)
+		if el, ok := c.entries[string(*buf)]; ok {
 			c.order.MoveToFront(el)
 			c.hits++
 			bs.Hits++
 			out[i] = copyRow(el.Value.(*entry).lp)
 			continue
 		}
-		if f, ok := c.inflight[key]; ok {
+		if f, ok := c.inflight[string(*buf)]; ok {
 			// Single-flight: someone (possibly an earlier row of this very
 			// batch) is computing this context; park and reuse.
 			c.flights++
@@ -138,12 +146,14 @@ func (c *LM) scoreBatch(ctxs [][]model.Token) ([][]float64, BatchStats) {
 		}
 		c.misses++
 		bs.Misses++
+		key := string(*buf)
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
 		owned = append(owned, ownRef{key: key, f: f, idx: i})
 		missCtxs = append(missCtxs, ctx)
 	}
 	c.mu.Unlock()
+	keyBufPool.Put(buf)
 
 	if len(owned) > 0 {
 		// One batched inner call for all unique misses. If the inner model

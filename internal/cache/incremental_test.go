@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+func testTransformer(tb testing.TB) (*model.Transformer, *tokenizer.BPE) {
+	tb.Helper()
+	lines := []string{"the cat sat on the mat", "the dog ran in the park"}
+	tok := tokenizer.Train(lines, 60)
+	lm := model.TrainTransformer(lines, tok, model.TransformerConfig{
+		DModel: 16, NHeads: 2, NLayers: 1, DFF: 32, MaxSeqLen: 24, Epochs: 1, Seed: 1,
+	})
+	return lm, tok
+}
+
+// TestIncrementalPublishWarmsLRU: rows computed by delegated prefill/extend
+// must land in the LRU so full-path requests for the same contexts hit.
+func TestIncrementalPublishWarmsLRU(t *testing.T) {
+	lm, tok := testTransformer(t)
+	c := New(lm, 128)
+	ctx := tok.Encode("the cat sat")
+	st, _ := c.Prefill(ctx)
+	next := tok.Encode(" on")[0]
+	c.ExtendBatch([]model.DecodeState{st}, []model.Token{next})
+
+	h0, m0 := c.Stats()
+	extended := append(append([]model.Token{}, ctx...), next)
+	c.ScoreBatch([][]model.Token{ctx, extended})
+	h1, m1 := c.Stats()
+	if h1-h0 != 2 || m1 != m0 {
+		t.Fatalf("full path after incremental: +%d hits +%d misses, want 2 hits 0 misses", h1-h0, m1-m0)
+	}
+}
+
+// TestScoreAllPositionsFastPath: the second identical sequence must be an
+// all-hit (no inner forward), and rows must match the per-position path.
+func TestScoreAllPositionsFastPath(t *testing.T) {
+	lm, tok := testTransformer(t)
+	c := New(lm, 128)
+	seq := tok.Encode("the dog ran in")
+	first := c.ScoreAllPositions(seq)
+	_, m0 := c.Stats()
+	second := c.ScoreAllPositions(seq)
+	h1, m1 := c.Stats()
+	if m1 != m0 {
+		t.Fatalf("repeat all-positions scored again: misses %d -> %d", m0, m1)
+	}
+	if h1 < int64(len(seq)) {
+		t.Fatalf("repeat all-positions hits = %d, want >= %d", h1, len(seq))
+	}
+	for p := range seq {
+		want := lm.NextLogProbs(model.ClampWindow(lm, seq[:p]))
+		for i := range want {
+			if first[p][i] != want[i] || second[p][i] != want[i] {
+				t.Fatalf("row %d diverges from NextLogProbs", p)
+			}
+		}
+	}
+}
+
+// TestScoreAllPositionsSingleFlight: concurrent identical sequences share
+// one inner computation.
+func TestScoreAllPositionsSingleFlight(t *testing.T) {
+	lm, tok := testTransformer(t)
+	c := New(lm, 256)
+	seq := tok.Encode("the cat sat on the mat")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows := c.ScoreAllPositions(seq)
+			if len(rows) != len(seq) {
+				t.Errorf("%d rows", len(rows))
+			}
+		}()
+	}
+	wg.Wait()
+	_, misses := c.Stats()
+	if misses != int64(len(seq)) {
+		t.Fatalf("misses = %d, want one computation (%d rows)", misses, len(seq))
+	}
+}
+
+// TestWindowModelIncrementalUsesLRU: for a non-incremental inner model the
+// extend path must route through the LRU (hit on repeat), not recompute.
+func TestWindowModelIncrementalUsesLRU(t *testing.T) {
+	lines := []string{"the cat sat on the mat"}
+	tok := tokenizer.Train(lines, 60)
+	ng := model.TrainNGram(lines, tok, model.NGramConfig{Order: 3, MaxSeqLen: 24})
+	c := New(ng, 128)
+	ctx := tok.Encode("the cat")
+	next := tok.Encode(" sat")[0]
+	st, _ := c.Prefill(ctx)
+	c.ExtendBatch([]model.DecodeState{st}, []model.Token{next})
+	_, m0 := c.Stats()
+	c.ExtendBatch([]model.DecodeState{st}, []model.Token{next}) // repeat: LRU hit
+	hits, m1 := c.Stats()
+	if hits == 0 || m1 != m0 {
+		t.Fatalf("repeat extend of a window model bypassed the LRU (hits=%d, misses %d->%d)", hits, m0, m1)
+	}
+}
+
+// BenchmarkScoreBatchHitAllocs measures hot-path allocations on an all-hit
+// batch: with the pooled key encoder the classification pass allocates
+// nothing per row beyond the returned copies.
+func BenchmarkScoreBatchHitAllocs(b *testing.B) {
+	lines := []string{"the cat sat on the mat"}
+	tok := tokenizer.Train(lines, 60)
+	ng := model.TrainNGram(lines, tok, model.NGramConfig{Order: 3, MaxSeqLen: 24})
+	c := New(ng, 128)
+	ctxs := make([][]model.Token, 16)
+	for i := range ctxs {
+		ctxs[i] = tok.Encode("the cat sat on the mat")[:1+i%4]
+	}
+	c.ScoreBatch(ctxs) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScoreBatch(ctxs)
+	}
+}

@@ -139,58 +139,15 @@ func (d *Device) MaxBatch() int { return d.c.maxBatch }
 // concurrent use, including across views.
 func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 	out := make([][]float64, len(ctxs))
-	d.c.mu.Lock()
-	workers := d.c.workers
-	pool := d.c.pool
-	d.c.mu.Unlock()
-	if pool != nil {
-		workers = pool.Size()
-	}
-	for lo := 0; lo < len(ctxs); lo += d.c.maxBatch {
-		hi := lo + d.c.maxBatch
-		if hi > len(ctxs) {
-			hi = len(ctxs)
-		}
-		chunk := ctxs[lo:hi]
-		tokens := 0
-		for _, c := range chunk {
-			tokens += len(c)
-		}
-		cost := d.c.latency.Cost(len(chunk), tokens)
-		d.c.mu.Lock()
-		d.c.clock += cost
-		d.c.busy += cost
-		d.c.batches++
-		d.c.sequences += int64(len(chunk))
-		d.c.tokens += int64(tokens)
-		d.c.mu.Unlock()
-		d.scoreChunk(chunk, out[lo:hi], workers, pool)
-	}
+	d.runChunks(len(ctxs), func(c []model.Token) int { return len(c) }, ctxs, func(lo, hi int) {
+		copy(out[lo:hi], d.lm.ScoreBatch(ctxs[lo:hi]))
+	})
 	return out
 }
 
-// scoreChunk fills res with the chunk's log-prob rows, sharding across the
-// worker pool. Workers write disjoint index ranges, so the merge needs no
-// locking.
-func (d *Device) scoreChunk(chunk [][]model.Token, res [][]float64, workers int, pool *Pool) {
-	if workers > len(chunk) {
-		workers = len(chunk)
-	}
-	if workers <= 1 {
-		copy(res, d.lm.ScoreBatch(chunk))
-		return
-	}
-	per := (len(chunk) + workers - 1) / workers
-	var shards []func()
-	for lo := 0; lo < len(chunk); lo += per {
-		lo, hi := lo, lo+per
-		if hi > len(chunk) {
-			hi = len(chunk)
-		}
-		shards = append(shards, func() {
-			copy(res[lo:hi], d.lm.ScoreBatch(chunk[lo:hi]))
-		})
-	}
+// runShards executes the shards on the persistent pool when one is attached,
+// or on transient goroutines otherwise.
+func runShards(shards []func(), pool *Pool) {
 	if pool != nil {
 		pool.Run(shards)
 		return

@@ -94,9 +94,9 @@ func (s *beamStream) run() {
 		}
 		ctxs := make([][]model.Token, len(s.beam))
 		for i, n := range s.beam {
-			ctxs[i] = clampCtx(m, n.ctx)
+			ctxs[i] = n.ctx
 		}
-		lps := s.dev.Forward(ctxs)
+		lps := scoreFrontier(s.dev, s.q, ctxs)
 		s.stats.modelCalls.Add(int64(len(s.beam)))
 		s.stats.nodesExpanded.Add(int64(len(s.beam)))
 
@@ -130,9 +130,9 @@ func (s *beamStream) run() {
 	if s.q.RequireEOS && len(finals) > 0 {
 		ctxs := make([][]model.Token, len(finals))
 		for i, n := range finals {
-			ctxs[i] = clampCtx(m, n.ctx)
+			ctxs[i] = n.ctx
 		}
-		lps := s.dev.Forward(ctxs)
+		lps := scoreFrontier(s.dev, s.q, ctxs)
 		s.stats.modelCalls.Add(int64(len(finals)))
 		kept := finals[:0]
 		for i, n := range finals {

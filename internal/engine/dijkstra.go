@@ -127,11 +127,10 @@ func (s *dijkstraStream) Next() (*Result, error) {
 			continue
 		}
 		ctxs := make([][]model.Token, len(batch))
-		m := s.dev.Model()
 		for i, n := range batch {
-			ctxs[i] = clampCtx(m, n.ctx)
+			ctxs[i] = n.ctx
 		}
-		lps := s.dev.Forward(ctxs)
+		lps := scoreFrontier(s.dev, s.q, ctxs)
 		s.stats.modelCalls.Add(int64(len(batch)))
 		s.stats.nodesExpanded.Add(int64(len(batch)))
 		// Expansion (rule filtering, canonicality checks, child construction)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/decoding"
 	"repro/internal/device"
+	"repro/internal/kvcache"
 	"repro/internal/model"
 )
 
@@ -72,6 +73,20 @@ type Query struct {
 	// parallelism. <= 1 keeps expansion on the calling goroutine.
 	// (Device-side scoring parallelism is configured on the Device.)
 	Parallelism int
+	// Incremental enables prefix-state (KV-cache) reuse across frontier
+	// expansion (DESIGN.md decision 10): a popped node's logits come from
+	// extending its parent's cached decode state by one token through
+	// Device.ExtendBatch — O(L·d) for the Transformer — instead of
+	// re-forwarding the whole prefix. Nodes whose parent state is not
+	// resident in KV (evicted under budget, or never computed) fall back to
+	// a batched Prefill; states are pure caches, so the fallback only costs
+	// time. Result streams are byte-identical to the full path at any budget.
+	// Requires KV; ignored otherwise.
+	Incremental bool
+	// KV is the prefix-state arena backing Incremental. It may be shared by
+	// any number of concurrent queries (states for common prefixes are
+	// computed once and reused across the fleet).
+	KV *kvcache.Arena
 	// Context cancels an in-progress traversal: Next (and Mass) observe it
 	// between expansion rounds and return its error. nil means Background.
 	Context context.Context
@@ -191,23 +206,87 @@ func (h *nodeHeap) Pop() interface{} {
 	return n
 }
 
-// clampCtx trims a context to the model window.
+// clampCtx trims a context to the model window (the shared clamp — one
+// definition keeps the incremental and full paths scoring identical
+// contexts).
 func clampCtx(m model.LanguageModel, ctx []model.Token) []model.Token {
-	if len(ctx) > m.MaxSeqLen() {
-		return ctx[len(ctx)-m.MaxSeqLen():]
-	}
-	return ctx
+	return model.ClampWindow(m, ctx)
 }
 
-// scoreSequences scores every sequence in one device round: the (sequence,
-// position) contexts of all sequences are flattened into a single Forward
-// call, so a query with P prefixes of length L pays one batched dispatch
-// instead of P·L scalar ones (DESIGN.md decision 6). Returns per-sequence
-// total log probabilities and the number of contexts scored.
+// scoreSequences scores every sequence with all-positions scoring: one
+// causal forward per sequence yields every position's next-token
+// distribution at once (DESIGN.md decision 10), so a length-L sequence
+// costs one device row instead of L full-prefix context rows. Sequences
+// longer than the model window keep the row-expanded path — their
+// per-position contexts are sliding windows, which a single forward cannot
+// reproduce — and both paths are bit-identical to per-position NextLogProbs.
+// Returns per-sequence total log probabilities and the number of contexts
+// scored (one per position, as before, so ModelCalls keeps its meaning).
 func scoreSequences(dev *device.Device, seqs [][]model.Token) ([]float64, int64) {
 	m := dev.Model()
+	totals := make([]float64, len(seqs))
+	var contexts int64
+	var allIdx []int
+	var allSeqs [][]model.Token
+	var rowIdx, rowPos []int
+	var rowCtxs [][]model.Token
+	for i, seq := range seqs {
+		if len(seq) == 0 {
+			continue
+		}
+		contexts += int64(len(seq))
+		if len(seq) <= m.MaxSeqLen() {
+			allIdx = append(allIdx, i)
+			allSeqs = append(allSeqs, seq)
+			continue
+		}
+		for p := range seq {
+			rowIdx = append(rowIdx, i)
+			rowPos = append(rowPos, p)
+			rowCtxs = append(rowCtxs, clampCtx(m, seq[:p]))
+		}
+	}
+	if len(allSeqs) > 0 {
+		rows := dev.ScoreAll(allSeqs)
+		for j, i := range allIdx {
+			total := 0.0
+			for p, tok := range seqs[i] {
+				total += rows[j][p][tok]
+				if math.IsInf(total, -1) {
+					total = model.NegInf
+					break
+				}
+			}
+			totals[i] = total
+		}
+	}
+	if len(rowCtxs) > 0 {
+		lps := dev.Forward(rowCtxs)
+		acc := make(map[int]float64, 4)
+		for r, i := range rowIdx {
+			if _, ok := acc[i]; !ok {
+				acc[i] = 0
+			}
+			if !math.IsInf(acc[i], -1) {
+				acc[i] += lps[r][seqs[i][rowPos[r]]]
+				if math.IsInf(acc[i], -1) {
+					acc[i] = model.NegInf
+				}
+			}
+		}
+		for i, total := range acc {
+			totals[i] = total
+		}
+	}
+	return totals, contexts
+}
+
+// scoreSequencesExpanded is the pre-decision-10 path — every (sequence,
+// position) context as its own device row — retained as the oracle for the
+// all-positions equivalence tests.
+func scoreSequencesExpanded(dev *device.Device, seqs [][]model.Token) ([]float64, int64) {
+	m := dev.Model()
 	var ctxs [][]model.Token
-	// offsets[i] is seq i's first context row; empty sequences own no rows.
 	offsets := make([]int, len(seqs))
 	for i, seq := range seqs {
 		offsets[i] = len(ctxs)
@@ -232,6 +311,94 @@ func scoreSequences(dev *device.Device, seqs [][]model.Token) ([]float64, int64)
 		totals[i] = total
 	}
 	return totals, int64(len(ctxs))
+}
+
+// incremental reports whether the query runs with prefix-state reuse.
+func (q *Query) incremental() bool { return q.Incremental && q.KV != nil }
+
+// scoreFrontier returns next-token log-probs for a batch of frontier
+// contexts. On the full path it is one packed Forward over the clamped
+// contexts. On the incremental path each context whose parent state is
+// resident in the KV arena is scored by a one-token ExtendBatch step, and
+// the rest (roots, evictions, window-edge contexts) by a batched Prefill;
+// every computed state is committed back to the arena so the next round's
+// children extend it in turn. Both paths produce bit-identical rows.
+//
+// Models without real prefix states (the window substrates: their "extend"
+// re-scores the window through the logit LRU anyway) take the full path even
+// when Incremental is set — arena-caching their trivial states would spend
+// bookkeeping memory to save nothing.
+func scoreFrontier(dev *device.Device, q *Query, ctxs [][]model.Token) [][]float64 {
+	m := dev.Model()
+	if !q.incremental() || !model.HasPrefixStates(m) {
+		clamped := make([][]model.Token, len(ctxs))
+		for i, ctx := range ctxs {
+			clamped[i] = clampCtx(m, ctx)
+		}
+		return dev.Forward(clamped)
+	}
+	lps := make([][]float64, len(ctxs))
+	// cacheable: a state for ctx is worth committing iff a child extension
+	// from it would itself be incremental (inside the window with headroom
+	// for the transformer's window-minus-one clamp).
+	cacheable := func(n int) bool { return n >= 1 && n <= m.MaxSeqLen()-2 }
+	type ext struct {
+		idx    int
+		parent *kvcache.Handle
+	}
+	var exts []ext
+	var pfIdx []int // parent-state misses whose own state is worth committing
+	var pfCtxs [][]model.Token
+	var fwdIdx []int // deep/root rows with no state to keep: plain Forward
+	var fwdCtxs [][]model.Token
+	for i, ctx := range ctxs {
+		if len(ctx) >= 2 && len(ctx) <= m.MaxSeqLen()-1 {
+			if h := q.KV.Acquire(ctx[:len(ctx)-1]); h != nil {
+				exts = append(exts, ext{idx: i, parent: h})
+				continue
+			}
+		}
+		if cacheable(len(ctx)) {
+			pfIdx = append(pfIdx, i)
+			pfCtxs = append(pfCtxs, ctx)
+			continue
+		}
+		// A Prefill here would compute a state nobody can reuse and skip
+		// the logit LRU; Forward keeps deep rows on the memoized path.
+		fwdIdx = append(fwdIdx, i)
+		fwdCtxs = append(fwdCtxs, clampCtx(m, ctx))
+	}
+	if len(exts) > 0 {
+		states := make([]model.DecodeState, len(exts))
+		toks := make([]model.Token, len(exts))
+		for j, e := range exts {
+			states[j] = e.parent.State()
+			ctx := ctxs[e.idx]
+			toks[j] = ctx[len(ctx)-1]
+		}
+		newStates, rows := dev.ExtendBatch(states, toks)
+		for j, e := range exts {
+			lps[e.idx] = rows[j]
+			if cacheable(len(ctxs[e.idx])) {
+				q.KV.Commit(e.parent, ctxs[e.idx], newStates[j]).Release()
+			}
+			e.parent.Release()
+		}
+	}
+	if len(pfIdx) > 0 {
+		states, rows := dev.Prefill(pfCtxs)
+		for j, i := range pfIdx {
+			lps[i] = rows[j]
+			q.KV.Commit(nil, ctxs[i], states[j]).Release()
+		}
+	}
+	if len(fwdIdx) > 0 {
+		rows := dev.Forward(fwdCtxs)
+		for j, i := range fwdIdx {
+			lps[i] = rows[j]
+		}
+	}
+	return lps
 }
 
 // parallelFor runs fn(i) for every i in [0, n) across up to workers

@@ -129,9 +129,9 @@ func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 		}
 		ctxs := make([][]model.Token, len(batch))
 		for i, n := range batch {
-			ctxs[i] = clampCtx(m, n.ctx)
+			ctxs[i] = n.ctx
 		}
-		lps := dev.Forward(ctxs)
+		lps := scoreFrontier(dev, q, ctxs)
 		res.Expanded += int64(len(batch))
 
 		// Rule filtering, canonicality checks, and child construction are

@@ -7,6 +7,7 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/decoding"
 	"repro/internal/device"
+	"repro/internal/kvcache"
 	"repro/internal/model"
 )
 
@@ -219,8 +220,13 @@ func (s *samplerStream) sampleOnce(rng *rand.Rand) (*Result, bool) {
 	logP := prefLogP
 	patLen := 0
 
+	// h pins the KV-arena state for the current ctx on the incremental path;
+	// it is advanced by scoreStep and released when the attempt ends.
+	var h *kvcache.Handle
+	defer func() { h.Release() }()
+
 	for patLen <= s.q.MaxTokens {
-		lp := s.dev.Forward([][]model.Token{clampCtx(m, ctx)})[0]
+		lp := s.scoreStep(ctx, &h)
 		s.stats.modelCalls.Add(1)
 		_, filtered := decoding.Allowed(s.q.Rule, lp)
 
@@ -297,6 +303,48 @@ func (s *samplerStream) sampleOnce(rng *rand.Rand) (*Result, bool) {
 		patLen++
 	}
 	return nil, false // exceeded MaxTokens without stopping
+}
+
+// scoreStep returns the next-token log-probs for ctx during a sampling walk.
+// The full path is one Forward (logit-LRU backed). The incremental path
+// reuses the shared KV arena: a state already resident for ctx — a previous
+// attempt walked this very prefix, the common case under rejection sampling —
+// turns the step into a cache lookup; otherwise the handle held for the
+// previous step's ctx is extended by one token, and failing that the context
+// is prefilled. All branches return bit-identical rows, so the draw sequence
+// is unchanged by the knob. *hp tracks the pinned state for the current ctx.
+func (s *samplerStream) scoreStep(ctx []model.Token, hp **kvcache.Handle) []float64 {
+	m := s.dev.Model()
+	if !s.q.incremental() || !model.HasPrefixStates(m) {
+		return s.dev.Forward([][]model.Token{clampCtx(m, ctx)})[0]
+	}
+	cacheable := len(ctx) >= 1 && len(ctx) <= m.MaxSeqLen()-2
+	prev := *hp
+	if cacheable {
+		if own := s.q.KV.Acquire(ctx); own != nil {
+			prev.Release()
+			*hp = own
+			return s.dev.Forward([][]model.Token{ctx})[0]
+		}
+	}
+	if prev != nil && len(ctx) >= 2 && len(ctx) <= m.MaxSeqLen()-1 && prev.State().Len() == len(ctx)-1 {
+		states, rows := s.dev.ExtendBatch([]model.DecodeState{prev.State()}, []model.Token{ctx[len(ctx)-1]})
+		var own *kvcache.Handle
+		if cacheable {
+			own = s.q.KV.Commit(prev, ctx, states[0])
+		}
+		prev.Release()
+		*hp = own
+		return rows[0]
+	}
+	prev.Release()
+	*hp = nil
+	if cacheable {
+		states, rows := s.dev.Prefill([][]model.Token{ctx})
+		*hp = s.q.KV.Commit(nil, ctx, states[0])
+		return rows[0]
+	}
+	return s.dev.Forward([][]model.Token{clampCtx(m, ctx)})[0]
 }
 
 // sampleLog draws an index proportionally to exp(weights[i]), stably.

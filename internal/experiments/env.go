@@ -49,14 +49,15 @@ type Env struct {
 	Oracle      *web.Oracle
 	Corpus      []string // the full training mix
 
-	// mu guards planProbes: one plan-cache counter reader per relm.Model the
-	// env has built (the two shared ones, FreshModel products, and models an
-	// experiment registers via TrackModel), so PlanStats can sum plan-cache
-	// counters over the whole run. Probes capture only each model's small
-	// plan cache, not the model — a retired model's logit cache and weights
-	// stay collectable.
+	// mu guards planProbes and kvProbes: one counter reader per relm.Model
+	// the env has built (the two shared ones, FreshModel products, and
+	// models an experiment registers via TrackModel), so PlanStats/KVStats
+	// can sum cache counters over the whole run. Probes capture only each
+	// model's small cache structures, not the model — a retired model's
+	// logit cache and weights stay collectable.
 	mu         sync.Mutex
 	planProbes []func() relm.PlanCacheStats
+	kvProbes   []func() relm.KVStats
 }
 
 // EnvConfig overrides sizing; zero values take Scale-based defaults.
@@ -166,10 +167,33 @@ func NewEnv(cfg EnvConfig) *Env {
 // call it so cmd/relm-bench's compile-vs-traverse split sees their work.
 func (e *Env) TrackModel(m *relm.Model) *relm.Model {
 	probe := m.PlanCacheProbe()
+	kvProbe := m.KVProbe()
 	e.mu.Lock()
 	e.planProbes = append(e.planProbes, probe)
+	e.kvProbes = append(e.kvProbes, kvProbe)
 	e.mu.Unlock()
 	return m
+}
+
+// KVStats sums prefix-state arena counters over every model the env has
+// built or tracked, giving cmd/relm-bench its per-experiment KV-reuse split
+// (DESIGN.md decision 10).
+func (e *Env) KVStats() relm.KVStats {
+	e.mu.Lock()
+	probes := append([]func() relm.KVStats(nil), e.kvProbes...)
+	e.mu.Unlock()
+	var out relm.KVStats
+	for _, probe := range probes {
+		s := probe()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Commits += s.Commits
+		out.Evictions += s.Evictions
+		out.ResidentBytes += s.ResidentBytes
+		out.Budget += s.Budget
+		out.Nodes += s.Nodes
+	}
+	return out
 }
 
 // PlanStats sums compiled-plan cache counters over every model the env has

@@ -135,11 +135,15 @@ func RunFamilies(env *Env, cfg FamiliesConfig) (*FamiliesResult, error) {
 	return res, nil
 }
 
-// topChoice returns the pattern text of the most likely completion.
+// topChoice returns the pattern text of the most likely completion. Queries
+// run incrementally (DESIGN.md decision 10): the transformer family takes
+// the KV-extension path — relm-bench's per-experiment kv split shows it —
+// while the window families transparently keep the full path.
 func topChoice(m *relm.Model, prefix, pattern string) (string, error) {
 	results, err := relm.Search(m, relm.SearchQuery{
-		Query:    relm.QueryString{Pattern: pattern, Prefix: prefix},
-		MaxNodes: 100000,
+		Query:       relm.QueryString{Pattern: pattern, Prefix: prefix},
+		MaxNodes:    100000,
+		Incremental: true,
 	})
 	if err != nil {
 		return "", err

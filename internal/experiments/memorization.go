@@ -92,6 +92,11 @@ func RunMemorization(env *Env, cfg MemorizationConfig) (*MemorizationResult, err
 		RequireEOS:   true,
 		MaxTokens:    24,
 		MaxNodes:     1 << 22,
+		// KV prefix-state reuse across the frontier (DESIGN.md decision 10):
+		// results are byte-identical; on a prefix-stateful substrate each
+		// expansion round extends parent states instead of re-scoring whole
+		// prefixes (the n-gram stand-in transparently keeps the full path).
+		Incremental: true,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,231 @@
+// Package kvcache provides the prefix-state arena for incremental decoding
+// (DESIGN.md decision 10): a trie-shaped, ref-counted, byte-budgeted store
+// of model.DecodeState values keyed by token context. Engines commit each
+// expanded frontier node's state and acquire the parent's state when scoring
+// children, so one round of traversal pays one incremental step per node
+// instead of a full-prefix forward.
+//
+// States are pure caches — everything in the arena is recomputable via
+// Prefill — so eviction is always safe: a traversal that misses simply
+// recomputes. That keeps the design simple under concurrency: handles pin a
+// node only for the duration of one scoring round, and the byte budget is
+// enforced by LRU eviction of unpinned leaves.
+//
+// The trie shape matters for accounting. A child transformer state shares
+// its prefix K/V rows with the parent by pointer, so each node is charged
+// only its exclusive bytes (its state's size minus its parent's). Eviction
+// is leaf-only: a node with live children stays resident, because its rows
+// are still reachable through them — evicting it would free nothing. When
+// the last child goes, the parent becomes a leaf and ages out normally.
+package kvcache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Arena is a concurrency-safe prefix-state store. The zero value is not
+// usable; construct with New.
+type Arena struct {
+	mu     sync.Mutex
+	budget int64
+	nodes  map[string]*node
+	// lru holds exactly the evictable nodes — unpinned leaves — so each
+	// eviction is an O(1) pop from the back. Interior nodes enter when
+	// their last child is evicted (at the back: a parent's last use is at
+	// least as old as its children's), pinned nodes when released.
+	lru      *list.List // front = most recently used
+	resident int64
+
+	hits, misses, commits, evictions int64
+}
+
+type node struct {
+	key      string
+	parent   *node
+	state    model.DecodeState
+	bytes    int64 // exclusive bytes: state size minus the parent's share
+	refs     int   // live handles
+	children int   // resident child nodes
+	elem     *list.Element
+}
+
+// Handle pins one node: a pinned node cannot be evicted, so the state stays
+// valid across a scoring round. Handles must be released promptly (they are
+// round-scoped, not query-scoped); Release is idempotent.
+type Handle struct {
+	a *Arena
+	n *node
+}
+
+// DefaultBudget is the arena byte budget when none is configured (64 MiB).
+const DefaultBudget = 64 << 20
+
+// New creates an arena with the given byte budget (<= 0: DefaultBudget).
+func New(budget int64) *Arena {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Arena{
+		budget: budget,
+		nodes:  make(map[string]*node),
+		lru:    list.New(),
+	}
+}
+
+// Budget reports the configured byte budget.
+func (a *Arena) Budget() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
+
+// Acquire returns a pinned handle to the cached state for ctx, or nil on a
+// miss (the caller then recomputes via Prefill and Commits the result).
+func (a *Arena) Acquire(ctx []model.Token) *Handle {
+	buf := keyPool.Get().(*[]byte)
+	*buf = model.AppendKey((*buf)[:0], ctx)
+	a.mu.Lock()
+	n, ok := a.nodes[string(*buf)]
+	if !ok {
+		a.misses++
+		a.mu.Unlock()
+		keyPool.Put(buf)
+		return nil
+	}
+	a.hits++
+	a.pin(n)
+	a.mu.Unlock()
+	keyPool.Put(buf)
+	return &Handle{a: a, n: n}
+}
+
+// Commit stores st as the state for ctx and returns a pinned handle to it.
+// parent, when non-nil, must be a live handle to the state ctx extends by
+// one token; the new node is charged only its exclusive bytes and linked
+// into the trie so the parent outlives it. If another goroutine committed
+// the same context first, the existing node wins and st is discarded (the
+// two are bit-identical by construction).
+func (a *Arena) Commit(parent *Handle, ctx []model.Token, st model.DecodeState) *Handle {
+	key := model.Key(ctx)
+	a.mu.Lock()
+	if n, ok := a.nodes[key]; ok {
+		a.pin(n)
+		a.mu.Unlock()
+		return &Handle{a: a, n: n}
+	}
+	n := &node{key: key, state: st, bytes: st.SizeBytes(), refs: 1}
+	if parent != nil && parent.n != nil {
+		n.parent = parent.n
+		// Charge only what this node owns. States that can size themselves
+		// against the parent exactly (fresh rows + their own pointer arrays)
+		// are preferred over the SizeBytes difference, which undercounts the
+		// per-node allocations shared-by-pointer states still make.
+		if es, ok := st.(model.ExclusiveSizer); ok {
+			n.bytes = es.ExclusiveBytes(parent.n.state)
+		} else if ps := parent.n.state.SizeBytes(); ps < n.bytes {
+			n.bytes -= ps
+		}
+		// The parent is pinned by the caller's handle, so it cannot be in
+		// the eviction list; it re-enters only once it is both released and
+		// childless again.
+		parent.n.children++
+	}
+	a.nodes[key] = n
+	a.resident += n.bytes
+	a.commits++
+	a.evict()
+	a.mu.Unlock()
+	return &Handle{a: a, n: n}
+}
+
+// State returns the pinned decode state.
+func (h *Handle) State() model.DecodeState { return h.n.state }
+
+// Release unpins the handle. Safe to call more than once.
+func (h *Handle) Release() {
+	if h == nil || h.n == nil {
+		return
+	}
+	n := h.n
+	h.n = nil
+	h.a.mu.Lock()
+	n.refs--
+	if n.refs == 0 && n.children == 0 {
+		n.elem = h.a.lru.PushFront(n)
+		h.a.evict()
+	}
+	h.a.mu.Unlock()
+}
+
+// pin marks a node in use, removing it from the eviction list. Caller holds
+// the lock.
+func (a *Arena) pin(n *node) {
+	n.refs++
+	if n.elem != nil {
+		a.lru.Remove(n.elem)
+		n.elem = nil
+	}
+}
+
+// evict pops least-recently-used entries until the resident size fits the
+// budget — O(1) each, since the list holds only evictable nodes. Evicting a
+// parent's last child pushes the parent to the back (its last use is no
+// newer than the child's), so retiring a depth-D chain is D pops, not D list
+// scans. Caller holds the lock.
+func (a *Arena) evict() {
+	for a.resident > a.budget {
+		el := a.lru.Back()
+		if el == nil {
+			return // everything left is pinned or has live children
+		}
+		n := el.Value.(*node)
+		a.lru.Remove(el)
+		n.elem = nil
+		delete(a.nodes, n.key)
+		a.resident -= n.bytes
+		a.evictions++
+		if p := n.parent; p != nil {
+			p.children--
+			if p.children == 0 && p.refs == 0 {
+				p.elem = a.lru.PushBack(p)
+			}
+		}
+	}
+}
+
+// Stats is a snapshot of arena activity.
+type Stats struct {
+	// Hits and Misses count Acquire outcomes; a miss costs the caller one
+	// Prefill recompute.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Commits counts states inserted; Evictions counts states dropped to
+	// stay under budget.
+	Commits   int64 `json:"commits"`
+	Evictions int64 `json:"evictions"`
+	// ResidentBytes is the current exclusive-byte total; Budget the limit.
+	ResidentBytes int64 `json:"resident_bytes"`
+	Budget        int64 `json:"budget_bytes"`
+	// Nodes is the current entry count.
+	Nodes int `json:"nodes"`
+}
+
+// Stats snapshots the counters.
+func (a *Arena) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Hits:          a.hits,
+		Misses:        a.misses,
+		Commits:       a.commits,
+		Evictions:     a.evictions,
+		ResidentBytes: a.resident,
+		Budget:        a.budget,
+		Nodes:         len(a.nodes),
+	}
+}
+
+var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}

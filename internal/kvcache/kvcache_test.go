@@ -1,0 +1,228 @@
+package kvcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// fakeState is a DecodeState with a scripted size.
+type fakeState struct {
+	toks []model.Token
+	size int64
+}
+
+func (s *fakeState) Len() int               { return len(s.toks) }
+func (s *fakeState) Context() []model.Token { return s.toks }
+func (s *fakeState) SizeBytes() int64       { return s.size }
+
+func st(size int64, toks ...model.Token) *fakeState {
+	return &fakeState{toks: toks, size: size}
+}
+
+func TestAcquireCommitRoundTrip(t *testing.T) {
+	a := New(1 << 20)
+	ctx := []model.Token{1, 2, 3}
+	if h := a.Acquire(ctx); h != nil {
+		t.Fatal("acquire on empty arena hit")
+	}
+	h := a.Commit(nil, ctx, st(100, ctx...))
+	h.Release()
+	h2 := a.Acquire(ctx)
+	if h2 == nil {
+		t.Fatal("acquire after commit missed")
+	}
+	if h2.State().Len() != 3 {
+		t.Fatalf("state len %d", h2.State().Len())
+	}
+	h2.Release()
+	s := a.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Commits != 1 || s.Nodes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestExclusiveByteAccounting: a child committed with its parent handle is
+// charged only the delta, because its rows are shared.
+func TestExclusiveByteAccounting(t *testing.T) {
+	a := New(1 << 20)
+	parent := a.Commit(nil, []model.Token{1}, st(100, 1))
+	child := a.Commit(parent, []model.Token{1, 2}, st(150, 1, 2))
+	if got := a.Stats().ResidentBytes; got != 150 {
+		t.Fatalf("resident = %d, want 100 + (150-100) = 150", got)
+	}
+	// An orphan commit (no parent handle: a prefill fallback) pays full size.
+	orphan := a.Commit(nil, []model.Token{9, 9}, st(80, 9, 9))
+	if got := a.Stats().ResidentBytes; got != 230 {
+		t.Fatalf("resident = %d, want 230", got)
+	}
+	parent.Release()
+	child.Release()
+	orphan.Release()
+}
+
+// TestLeafOnlyEviction: a parent with a live child is never evicted before
+// the child — its rows are still reachable — and becomes evictable once the
+// child goes.
+func TestLeafOnlyEviction(t *testing.T) {
+	a := New(250)
+	parent := a.Commit(nil, []model.Token{1}, st(100, 1))
+	child := a.Commit(parent, []model.Token{1, 2}, st(200, 1, 2))
+	parent.Release()
+	child.Release()
+	// resident = 100 + 100, under budget; a third root overflows.
+	other := a.Commit(nil, []model.Token{7}, st(100, 7))
+	other.Release()
+	// Eviction order: LRU back is the parent — but it has a child, so the
+	// child must go first (then the parent, still over budget).
+	if h := a.Acquire([]model.Token{1, 2}); h != nil {
+		t.Fatal("child survived eviction")
+	}
+	s := a.Stats()
+	if s.ResidentBytes > 250 {
+		t.Fatalf("resident %d over budget", s.ResidentBytes)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// The orphan (most recent) must have survived.
+	if h := a.Acquire([]model.Token{7}); h == nil {
+		t.Fatal("most-recent node evicted")
+	} else {
+		h.Release()
+	}
+}
+
+// TestPinnedNodesSurviveBudgetPressure: a pinned node is never evicted even
+// when the arena is over budget; release brings it back under.
+func TestPinnedNodesSurviveBudgetPressure(t *testing.T) {
+	a := New(100)
+	h := a.Commit(nil, []model.Token{1}, st(90, 1))
+	// Overflow while h is pinned.
+	h2 := a.Commit(nil, []model.Token{2}, st(90, 2))
+	h2.Release() // h2 unpinned: evicted to relieve pressure
+	if got := a.Acquire([]model.Token{1}); got == nil {
+		t.Fatal("pinned node was evicted")
+	} else {
+		got.Release()
+	}
+	h.Release()
+	if s := a.Stats(); s.ResidentBytes > 100 {
+		t.Fatalf("resident %d over budget after release", s.ResidentBytes)
+	}
+}
+
+// TestCommitRace: concurrent commits of the same context converge on one
+// node; all handles stay valid.
+func TestCommitRace(t *testing.T) {
+	a := New(1 << 20)
+	ctx := []model.Token{5, 6}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := a.Commit(nil, ctx, st(64, 5, 6))
+				if h.State().Len() != 2 {
+					t.Error("bad state")
+				}
+				h.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := a.Stats(); s.Nodes != 1 {
+		t.Fatalf("nodes = %d after racing commits", s.Nodes)
+	}
+}
+
+// TestConcurrentQueriesSharedArena models several traversals sharing one
+// arena under budget pressure: acquire-or-commit loops over overlapping
+// tries, with eviction racing pins. Run under -race.
+func TestConcurrentQueriesSharedArena(t *testing.T) {
+	a := New(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				depth := 1 + i%5
+				ctx := make([]model.Token, depth)
+				for d := range ctx {
+					ctx[d] = model.Token(d + g%3) // overlap across goroutines
+				}
+				parent := a.Acquire(ctx[:depth-1])
+				h := a.Acquire(ctx)
+				if h == nil {
+					h = a.Commit(parent, ctx, st(int64(64*depth), ctx...))
+				}
+				if h.State().Len() != depth {
+					t.Error("wrong state")
+				}
+				h.Release()
+				parent.Release() // nil-safe
+			}
+		}()
+	}
+	wg.Wait()
+	s := a.Stats()
+	if s.ResidentBytes > 4096 {
+		t.Fatalf("resident %d over budget with no pins held", s.ResidentBytes)
+	}
+	if s.Commits == 0 || s.Hits == 0 {
+		t.Fatalf("expected both commits and hits: %+v", s)
+	}
+}
+
+// TestBudgetHoldsAcrossChurn floods the arena with distinct states and
+// checks the budget invariant and eviction counters.
+func TestBudgetHoldsAcrossChurn(t *testing.T) {
+	a := New(1000)
+	for i := 0; i < 200; i++ {
+		h := a.Commit(nil, []model.Token{model.Token(i)}, st(64, model.Token(i)))
+		h.Release()
+		if got := a.Stats().ResidentBytes; got > 1000 {
+			t.Fatalf("resident %d over budget at i=%d", got, i)
+		}
+	}
+	s := a.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("churn produced no evictions")
+	}
+	if s.Nodes > 1000/64 {
+		t.Fatalf("too many resident nodes: %d", s.Nodes)
+	}
+}
+
+func TestHandleReleaseIdempotent(t *testing.T) {
+	a := New(1 << 10)
+	h := a.Commit(nil, []model.Token{1}, st(10, 1))
+	h.Release()
+	h.Release() // must not double-decrement
+	h2 := a.Acquire([]model.Token{1})
+	if h2 == nil {
+		t.Fatal("node gone after double release")
+	}
+	h2.Release()
+	var nilH *Handle
+	nilH.Release() // nil-safe
+}
+
+func BenchmarkArenaAcquireHit(b *testing.B) {
+	a := New(1 << 20)
+	ctx := []model.Token{1, 2, 3, 4, 5, 6, 7, 8}
+	h := a.Commit(nil, ctx, st(256, ctx...))
+	h.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := a.Acquire(ctx)
+		h.Release()
+	}
+	_ = fmt.Sprint() // keep fmt imported for test failure paths
+}

@@ -146,13 +146,21 @@ type Table struct {
 	KeyFunc func([]Token) string
 }
 
-// Key encodes a context for Table lookup.
+// Key encodes a context for Table lookup (and for every context-keyed map
+// in the system: the logit cache, the KV arena, dedup sets).
 func Key(ctx []Token) string {
-	b := make([]byte, 0, len(ctx)*2)
+	return string(AppendKey(make([]byte, 0, len(ctx)*2), ctx))
+}
+
+// AppendKey appends the Key encoding of ctx to dst and returns the extended
+// slice. Hot paths reuse one buffer across rows and index maps with
+// string(buf) directly — the compiler elides the conversion allocation for
+// lookups — so only inserted keys pay a string allocation.
+func AppendKey(dst []byte, ctx []Token) []byte {
 	for _, t := range ctx {
-		b = append(b, byte(t), byte(t>>8))
+		dst = append(dst, byte(t), byte(t>>8))
 	}
-	return string(b)
+	return dst
 }
 
 // VocabSize implements LanguageModel.

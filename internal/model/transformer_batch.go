@@ -114,25 +114,5 @@ func (b *block) inferPacked(x [][]float64, bounds []int) [][]float64 {
 		}
 	}
 
-	attnOut := matmul(ctxv, b.wo.val, b.bo.val[0], b.dModel)
-	res1 := zeros(len(x), b.dModel)
-	for i := range res1 {
-		for j := range res1[i] {
-			res1[i][j] = x[i][j] + attnOut[i][j]
-		}
-	}
-	n2, _, _ := b.ln2.forward(res1)
-	ff1 := matmul(n2, b.wf1.val, b.bf1.val[0], b.dFF)
-	for i := range ff1 {
-		for j, vv := range ff1[i] {
-			ff1[i][j] = gelu(vv)
-		}
-	}
-	out := matmul(ff1, b.wf2.val, b.bf2.val[0], b.dModel)
-	for i := range out {
-		for j := range out[i] {
-			out[i][j] += res1[i][j]
-		}
-	}
-	return out
+	return b.finishBlock(x, ctxv)
 }

@@ -42,6 +42,10 @@ type SearchRequest struct {
 	// (0: engine defaults). Negative values are rejected.
 	Batch       int `json:"batch"`
 	Parallelism int `json:"parallelism"`
+	// Incremental enables KV-cache prefix-state reuse across the query's
+	// frontier (DESIGN.md decision 10). Results are byte-identical either
+	// way; the knob trades arena memory for per-round scoring work.
+	Incremental bool `json:"incremental"`
 }
 
 func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*SearchRequest, *relm.Model, string, error) {
@@ -119,6 +123,7 @@ func buildQuery(req *SearchRequest, ctx context.Context) relm.SearchQuery {
 		BeamWidth:   req.BeamWidth,
 		BatchExpand: req.Batch,
 		Parallelism: req.Parallelism,
+		Incremental: req.Incremental,
 		Context:     ctx,
 	}
 	switch req.Strategy {

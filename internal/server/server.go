@@ -312,6 +312,15 @@ type ModelStats struct {
 	PlanBypassed  int64 `json:"plan_bypassed"`
 	PlanEntries   int   `json:"plan_entries"`
 	PlanCompileMS int64 `json:"plan_compile_ms"`
+	// KV-arena counters (DESIGN.md decision 10): parent-state reuse during
+	// incremental frontier expansion. KVHits are one-token extensions that
+	// replaced full-prefix forwards; KVEvictions and KVResidentBytes show
+	// the byte budget at work.
+	KVHits          int64 `json:"kv_hits"`
+	KVMisses        int64 `json:"kv_misses"`
+	KVEvictions     int64 `json:"kv_evictions"`
+	KVResidentBytes int64 `json:"kv_resident_bytes"`
+	KVNodes         int   `json:"kv_nodes"`
 }
 
 // StatsResponse is the /v1/stats payload.
@@ -386,6 +395,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ms.PlanBypassed = ps.Bypassed
 		ms.PlanEntries = ps.Entries
 		ms.PlanCompileMS = ps.CompileTime.Milliseconds()
+		ks := m.KVStats()
+		ms.KVHits = ks.Hits
+		ms.KVMisses = ks.Misses
+		ms.KVEvictions = ks.Evictions
+		ms.KVResidentBytes = ks.ResidentBytes
+		ms.KVNodes = ks.Nodes
 		resp.Models = append(resp.Models, ms)
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,148 @@
+package relm
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+// trainIncrTransformer builds a tiny transformer — the prefix-stateful
+// substrate the KV arena exists for.
+func trainIncrTransformer(tb testing.TB) (*model.Transformer, *tokenizer.BPE) {
+	tb.Helper()
+	lines := []string{
+		"The man was trained in engineering",
+		"The woman was trained in medicine",
+		"The man was trained in art",
+		"The cat sat on the mat",
+		"The dog sat on the mat",
+	}
+	tok := tokenizer.Train(lines, 150)
+	lm := model.TrainTransformer(lines, tok, model.TransformerConfig{
+		DModel: 16, NHeads: 2, NLayers: 1, DFF: 32, MaxSeqLen: 48, Epochs: 2, Seed: 9,
+	})
+	return lm, tok
+}
+
+// TestSearchIncrementalEquivalence runs the public API with the Incremental
+// knob off and on: identical matches, and the model's KV arena must show the
+// reuse (commits and hits) only for the incremental run.
+func TestSearchIncrementalEquivalence(t *testing.T) {
+	lm, tok := trainIncrTransformer(t)
+	m := NewModel(lm, tok, ModelOptions{})
+
+	run := func(incremental bool) []*Match {
+		results, err := Search(m, SearchQuery{
+			Query:       QueryString{Pattern: " ((engineering)|(medicine)|(art))", Prefix: "The man was trained in"},
+			Incremental: incremental,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer results.Close()
+		return results.Take(3)
+	}
+
+	full := run(false)
+	if s := m.KVStats(); s.Commits != 0 {
+		t.Fatalf("full path touched the KV arena: %+v", s)
+	}
+	incr := run(true)
+	if len(full) != len(incr) {
+		t.Fatalf("%d vs %d matches", len(full), len(incr))
+	}
+	for i := range full {
+		if full[i].Text != incr[i].Text || full[i].LogProb != incr[i].LogProb {
+			t.Fatalf("match %d differs: %q %v vs %q %v",
+				i, full[i].Text, full[i].LogProb, incr[i].Text, incr[i].LogProb)
+		}
+	}
+	s := m.KVStats()
+	if s.Commits == 0 || s.Hits == 0 {
+		t.Fatalf("incremental run left no arena activity: %+v", s)
+	}
+	if s.ResidentBytes > s.Budget {
+		t.Fatalf("arena over budget: %+v", s)
+	}
+}
+
+// TestIncrementalWindowModelBypassesArena: window substrates have no prefix
+// state worth caching; the knob must be a transparent no-op for them (full
+// path, empty arena, same answers).
+func TestIncrementalWindowModelBypassesArena(t *testing.T) {
+	lines := []string{"The cat sat on the mat", "The dog sat on the mat"}
+	tok := tokenizer.Train(lines, 120)
+	lm := model.TrainNGram(lines, tok, model.NGramConfig{Order: 4, MaxSeqLen: 48})
+	m := NewModel(lm, tok, ModelOptions{})
+	results, err := Search(m, SearchQuery{
+		Query:       QueryString{Pattern: " ((cat)|(dog))", Prefix: "The"},
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer results.Close()
+	if got := results.Take(2); len(got) != 2 {
+		t.Fatalf("got %d matches", len(got))
+	}
+	if s := m.KVStats(); s.Commits != 0 || s.Hits != 0 {
+		t.Fatalf("window model polluted the arena: %+v", s)
+	}
+}
+
+// TestSessionsShareKVArena: sessions derived from one model share the arena,
+// so a repeat query in a second session reuses states the first committed.
+func TestSessionsShareKVArena(t *testing.T) {
+	lm, tok := trainIncrTransformer(t)
+	m := NewModel(lm, tok, ModelOptions{})
+
+	q := SearchQuery{
+		Query:       QueryString{Pattern: " ((cat)|(dog))", Prefix: "The"},
+		Incremental: true,
+	}
+	s1 := m.NewSession()
+	r1, err := Search(s1.Model, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Take(2)
+	r1.Close()
+	after1 := m.KVStats()
+	if after1.Commits == 0 {
+		t.Fatalf("first session committed nothing: %+v", after1)
+	}
+
+	s2 := m.NewSession()
+	r2, err := Search(s2.Model, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Take(2)
+	r2.Close()
+	after2 := m.KVStats()
+	if after2.Hits <= after1.Hits {
+		t.Fatalf("second session gained no arena hits: %+v -> %+v", after1, after2)
+	}
+}
+
+// TestKVDisabled: a negative budget disables the arena; incremental queries
+// silently run the full path and still answer correctly.
+func TestKVDisabled(t *testing.T) {
+	lm, tok := trainIncrTransformer(t)
+	m := NewModel(lm, tok, ModelOptions{KVBudgetBytes: -1})
+	results, err := Search(m, SearchQuery{
+		Query:       QueryString{Pattern: " ((cat)|(dog))", Prefix: "The"},
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer results.Close()
+	if got := results.Take(1); len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if s := m.KVStats(); s != (KVStats{}) {
+		t.Fatalf("disabled arena reported stats: %+v", s)
+	}
+}

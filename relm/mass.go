@@ -67,6 +67,8 @@ func Mass(m *Model, q SearchQuery, opts MassOptions) (*MassEstimate, error) {
 		BatchExpand: q.BatchExpand,
 		Parallelism: q.Parallelism,
 		Context:     q.Context,
+		Incremental: q.Incremental && m.kv != nil,
+		KV:          m.kv,
 		Pattern:     comp.token,
 		Filter:      comp.filter,
 	}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/decoding"
 	"repro/internal/device"
 	"repro/internal/engine"
+	"repro/internal/kvcache"
 	"repro/internal/levenshtein"
 	"repro/internal/model"
 	"repro/internal/regex"
@@ -145,6 +146,14 @@ type SearchQuery struct {
 	// ModelOptions.Parallelism, which parallelizes the scoring itself
 	// (DESIGN.md decision 6).
 	Parallelism int
+	// Incremental enables KV-cache prefix-state reuse across the search
+	// frontier (DESIGN.md decision 10): each expansion round extends the
+	// parent's cached decode state by one token instead of re-running the
+	// full prefix through the model, dropping per-query scoring from O(L³)
+	// to O(L²) work on the transformer substrate. Results are byte-identical
+	// to the full path. Requires the model's KV arena
+	// (ModelOptions.KVBudgetBytes >= 0, the default); ignored otherwise.
+	Incremental bool
 	// Context, when non-nil, cancels an in-progress traversal: Next returns
 	// the context's error once it is done. Use it to put deadlines on
 	// exploratory queries over unbounded languages.
@@ -194,6 +203,10 @@ type Model struct {
 	// concurrent queries for the same pattern share one immutable frozen
 	// automaton instead of recompiling it.
 	plans *planCache
+	// kv is the prefix-state arena shared by every incremental query and
+	// session of this model (nil when disabled). Overlapping frontiers —
+	// concurrent queries over a common prefix — reuse one decode state.
+	kv *kvcache.Arena
 }
 
 // ModelOptions configures device simulation, caching, and scoring
@@ -220,6 +233,12 @@ type ModelOptions struct {
 	// validation query (DESIGN.md decision 9); the cache is single-flight,
 	// so concurrent identical queries compile once.
 	PlanCacheSize int
+	// KVBudgetBytes bounds the prefix-state (KV-cache) arena shared by
+	// incremental queries (DESIGN.md decision 10): 0 takes the 64 MiB
+	// default, negative disables incremental decoding for this model.
+	// States are recomputable, so the budget trades memory for Prefill
+	// fallbacks, never correctness.
+	KVBudgetBytes int64
 }
 
 // NewModel wraps a language model and tokenizer for querying.
@@ -250,12 +269,17 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 	if opts.PlanCacheSize > 0 {
 		plans = newPlanCache(opts.PlanCacheSize)
 	}
+	var kv *kvcache.Arena
+	if opts.KVBudgetBytes >= 0 {
+		kv = kvcache.New(opts.KVBudgetBytes)
+	}
 	return &Model{
 		LM:    lm,
 		Tok:   tok,
 		Dev:   dev,
 		cache: shared,
 		plans: plans,
+		kv:    kv,
 	}
 }
 
@@ -271,6 +295,33 @@ func (m *Model) PlanCacheStats() PlanCacheStats {
 		return PlanCacheStats{}
 	}
 	return m.plans.stats()
+}
+
+// KVStats snapshots the prefix-state arena counters (DESIGN.md decision 10):
+// hits/misses of parent-state lookups during incremental frontier expansion,
+// evictions under the byte budget, and the resident size. Zero-valued when
+// the arena is disabled (ModelOptions.KVBudgetBytes < 0).
+type KVStats = kvcache.Stats
+
+// KVStats reports the model's prefix-state arena counters.
+func (m *Model) KVStats() KVStats {
+	if m.kv == nil {
+		return KVStats{}
+	}
+	return m.kv.Stats()
+}
+
+// KVProbe returns a reader over this model's KV-arena counters that does not
+// retain the model itself, mirroring PlanCacheProbe: aggregators keep probes
+// for every model they ever saw without pinning weights or logit caches.
+func (m *Model) KVProbe() func() KVStats {
+	kv := m.kv
+	return func() KVStats {
+		if kv == nil {
+			return KVStats{}
+		}
+		return kv.Stats()
+	}
 }
 
 // PlanCacheProbe returns a reader over this model's plan-cache counters that
@@ -313,6 +364,7 @@ func (m *Model) NewSession() *Session {
 			Dev:   m.Dev.WithModel(scope),
 			cache: m.cache,
 			plans: m.plans, // sessions share the model's compiled plans
+			kv:    m.kv,    // ... and its prefix-state arena
 		},
 		scope: scope,
 	}
@@ -481,6 +533,8 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 		Parallelism:    q.Parallelism,
 		Context:        q.Context,
 		PrefixZeroCost: q.PrefixZeroCost,
+		Incremental:    q.Incremental && m.kv != nil,
+		KV:             m.kv,
 		Pattern:        comp.token,
 		Filter:         comp.filter,
 	}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+)
+
+// envFlags are the knobs that rebuild the deterministic synthetic world.
+// Submit and resume must agree on them: the ledger's item-list hash and
+// model fingerprint refuse a resume against a different world.
+type envFlags struct {
+	scale       string
+	seed        int64
+	parallelism int
+}
+
+func (e *envFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&e.scale, "scale", "quick", "experiment scale: quick | full")
+	fs.Int64Var(&e.seed, "seed", 0, "world seed (0 = the paper-vintage default)")
+	fs.IntVar(&e.parallelism, "parallelism", 1, "device scoring-pool width per model (>= 1)")
+}
+
+func (e *envFlags) build() (*experiments.Env, error) {
+	var scale experiments.Scale
+	switch e.scale {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return nil, fmt.Errorf("unknown -scale %q (want quick or full)", e.scale)
+	}
+	if err := engine.ValidateParallelism(e.parallelism); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "building synthetic world (scale=%s)...\n", e.scale)
+	return experiments.NewEnv(experiments.EnvConfig{
+		Scale:       scale,
+		Seed:        e.seed,
+		Parallelism: e.parallelism,
+	}), nil
+}
+
+// newLocalManager builds a jobs manager over the env's two models.
+func newLocalManager(dir string, env *experiments.Env) (*jobs.Manager, error) {
+	mgr, err := jobs.NewManager(jobs.Config{Dir: dir, Env: env})
+	if err != nil {
+		return nil, err
+	}
+	mgr.RegisterModel("large", env.Large)
+	mgr.RegisterModel("small", env.Small)
+	return mgr, nil
+}
+
+// specFlags registers the submission knobs shared by local and remote
+// submit.
+func specFlags(fs *flag.FlagSet, spec *jobs.Spec) {
+	fs.StringVar(&spec.Suite, "suite", "", "validation suite (see 'relm-audit suites')")
+	fs.StringVar(&spec.Model, "model", "large", "model to validate: large | small (or a server registry name)")
+	fs.IntVar(&spec.ShardSize, "shard", 0, "items per work unit (0 = default)")
+	fs.IntVar(&spec.Workers, "workers", 0, "per-job worker-pool width (0 = default)")
+	fs.IntVar(&spec.CheckpointEvery, "checkpoint", 0, "shards between fsync'd checkpoints (0 = default)")
+	fs.IntVar(&spec.MaxItems, "max-items", 0, "cap the suite's worklist (0 = all)")
+	fs.IntVar(&spec.Priority, "priority", 0, "queue priority, higher first [-100, 100]")
+	fs.StringVar(&spec.Variant, "variant", "", "suite sub-mode (lambada: baseline|words|terminated|no stop)")
+	fs.IntVar(&spec.CancelAfterItems, "kill-after", 0, "cancel the run after N item results (0 = never); resume later")
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var spec jobs.Spec
+	specFlags(fs, &spec)
+	var ef envFlags
+	ef.register(fs)
+	ledgerDir := fs.String("ledger", "", "run-ledger directory (local mode)")
+	server := fs.String("server", "", "relm-serve base URL (remote mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*ledgerDir == "") == (*server == "") {
+		return fmt.Errorf("exactly one of -ledger (local) or -server (remote) is required")
+	}
+	if *server != "" {
+		return submitRemote(*server, spec)
+	}
+
+	env, err := ef.build()
+	if err != nil {
+		return err
+	}
+	mgr, err := newLocalManager(*ledgerDir, env)
+	if err != nil {
+		return err
+	}
+	j, err := mgr.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (suite=%s model=%s items=%d)\n",
+		j.ID, spec.Suite, spec.Model, j.Snapshot().Progress.Items)
+	return watchLocal(mgr, j)
+}
+
+func cmdResume(args []string) error {
+	fs := flag.NewFlagSet("resume", flag.ExitOnError)
+	id := fs.String("id", "", "job id to resume")
+	ledgerDir := fs.String("ledger", "", "run-ledger directory")
+	var ef envFlags
+	ef.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *ledgerDir == "" {
+		return fmt.Errorf("resume requires -id and -ledger")
+	}
+	env, err := ef.build()
+	if err != nil {
+		return err
+	}
+	mgr, err := newLocalManager(*ledgerDir, env)
+	if err != nil {
+		return err
+	}
+	j, err := mgr.Resume(*id)
+	if err != nil {
+		return err
+	}
+	snap := j.Snapshot()
+	fmt.Printf("resumed %s (attempt %d: %d/%d items already recorded)\n",
+		j.ID, snap.Resumes, snap.Progress.ItemsDone, snap.Progress.Items)
+	return watchLocal(mgr, j)
+}
+
+// watchLocal prints progress until the job terminates, then a summary line.
+func watchLocal(mgr *jobs.Manager, j *jobs.Job) error {
+	done := make(chan struct{})
+	go func() {
+		j.Wait()
+		close(done)
+	}()
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			printProgress(j.Snapshot())
+		case <-done:
+			snap := j.Snapshot()
+			printProgress(snap)
+			fmt.Printf("ledger: %s\n", mgr.LedgerPath(j.ID))
+			switch snap.Status {
+			case jobs.StatusCompleted:
+				fmt.Printf("completed: %d/%d items ok; verify with: relm-audit verify -id %s -ledger <dir>\n",
+					snap.Progress.OKItems, snap.Progress.Items, j.ID)
+				return nil
+			case jobs.StatusCancelled:
+				fmt.Printf("cancelled after %d/%d items; continue with: relm-audit resume -id %s -ledger <dir>\n",
+					snap.Progress.ItemsDone, snap.Progress.Items, j.ID)
+				return nil
+			default:
+				return fmt.Errorf("job %s %s: %s", j.ID, snap.Status, snap.Error)
+			}
+		}
+	}
+}
+
+func printProgress(s jobs.Snapshot) {
+	fmt.Printf("[%s] %-9s items %d/%d  shards %d/%d  ok %d  model-calls %d  kv-hits %d  plan-hits %d\n",
+		s.ID, s.Status, s.Progress.ItemsDone, s.Progress.Items,
+		s.Progress.ShardsDone, s.Progress.Shards, s.Progress.OKItems,
+		s.Engine.ModelCalls, s.KVHits, s.PlanHits)
+}
+
+func cmdSuites() error {
+	for _, n := range jobs.SuiteNames() {
+		fmt.Println(n)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSubmitKillResumeVerifyReport walks the full acceptance flow through
+// the CLI's own entry points: a sweep submitted and killed partway, resumed
+// from the ledger, chain-verified, and rendered into a report artifact.
+func TestSubmitKillResumeVerifyReport(t *testing.T) {
+	dir := t.TempDir()
+
+	// Submit with a kill switch: the run cancels partway. The command still
+	// exits cleanly — a deliberate kill is an outcome, not an error.
+	if err := cmdSubmit([]string{
+		"-suite", "urlmatch", "-ledger", dir, "-shard", "4", "-kill-after", "5",
+	}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// The interrupted ledger's chain is intact.
+	if err := cmdVerify([]string{"-id", "job-0001", "-ledger", dir}); err != nil {
+		t.Fatalf("verify interrupted: %v", err)
+	}
+
+	// Resume finishes the sweep.
+	if err := cmdResume([]string{"-id", "job-0001", "-ledger", dir}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := cmdVerify([]string{"-id", "job-0001", "-ledger", dir}); err != nil {
+		t.Fatalf("verify resumed: %v", err)
+	}
+
+	// The report artifact records a completed run with one resume.
+	out := filepath.Join(dir, "report.json")
+	if err := cmdReport([]string{"-id", "job-0001", "-ledger", dir, "-o", out}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Cancelled {
+		t.Fatalf("report state: %+v", rep)
+	}
+	if rep.Resumes != 1 || rep.ItemsDone != rep.Items || rep.Items == 0 {
+		t.Fatalf("report counters: %+v", rep)
+	}
+	if rep.Metric != "valid_rate" || rep.Value != 0.5 {
+		t.Fatalf("urlmatch metric: %s=%v, want valid_rate=0.5", rep.Metric, rep.Value)
+	}
+
+	// Tamper with one byte and verify must fail.
+	path := filepath.Join(dir, "job-0001.jsonl")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 1
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-id", "job-0001", "-ledger", dir}); err == nil {
+		t.Fatal("verify accepted a tampered ledger")
+	}
+}

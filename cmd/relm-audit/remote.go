@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// remote mode talks to a relm-serve instance with jobs enabled
+// (-jobs-dir): submissions POST /v1/jobs, watch polls GET /v1/jobs/{id}.
+
+func apiURL(server, path string) string {
+	return strings.TrimRight(server, "/") + path
+}
+
+func decodeOrError(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+		}
+		return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, v)
+}
+
+func submitRemote(server string, spec jobs.Spec) error {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(apiURL(server, "/v1/jobs"), "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	var snap jobs.Snapshot
+	if err := decodeOrError(resp, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (suite=%s model=%s items=%d)\n",
+		snap.ID, snap.Suite, snap.Model, snap.Progress.Items)
+	fmt.Printf("watch with: relm-audit watch -id %s -server %s\n", snap.ID, server)
+	return nil
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	id := fs.String("id", "", "job id")
+	server := fs.String("server", "", "relm-serve base URL")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *server == "" {
+		return fmt.Errorf("watch requires -id and -server")
+	}
+	for {
+		resp, err := http.Get(apiURL(*server, "/v1/jobs/"+*id))
+		if err != nil {
+			return err
+		}
+		var snap jobs.Snapshot
+		if err := decodeOrError(resp, &snap); err != nil {
+			return err
+		}
+		printProgress(snap)
+		switch snap.Status {
+		case jobs.StatusCompleted:
+			return nil
+		case jobs.StatusFailed:
+			return fmt.Errorf("job %s failed: %s", snap.ID, snap.Error)
+		case jobs.StatusCancelled:
+			fmt.Printf("cancelled; resume with: POST %s\n", apiURL(*server, "/v1/jobs/"+*id+"/resume"))
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}

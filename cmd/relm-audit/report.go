@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/jobs"
+)
+
+func ledgerPathFlags(fs *flag.FlagSet) (id, dir, file *string) {
+	id = fs.String("id", "", "job id (with -ledger)")
+	dir = fs.String("ledger", "", "run-ledger directory")
+	file = fs.String("file", "", "explicit ledger path (instead of -id/-ledger)")
+	return
+}
+
+func resolveLedgerPath(id, dir, file string) (string, error) {
+	if file != "" {
+		return file, nil
+	}
+	if id == "" || dir == "" {
+		return "", fmt.Errorf("either -file, or both -id and -ledger, are required")
+	}
+	return filepath.Join(dir, id+".jsonl"), nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	id, dir, file := ledgerPathFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := resolveLedgerPath(*id, *dir, *file)
+	if err != nil {
+		return err
+	}
+	n, err := jobs.VerifyFile(path)
+	if err != nil {
+		var cerr *jobs.ChainError
+		if errors.As(err, &cerr) {
+			fmt.Printf("TAMPERED: %s\n", path)
+			fmt.Printf("first broken link: line %d (seq %d): %s\n", cerr.Line, cerr.Seq, cerr.Reason)
+			return fmt.Errorf("hash chain verification failed")
+		}
+		return err
+	}
+	fmt.Printf("OK: %s — %d records, hash chain intact\n", path, n)
+	return nil
+}
+
+// Report is the JSON summary artifact `relm-audit report` renders per run:
+// suite-level quality (ok rate under a suite-appropriate metric name),
+// integrity (records, resumes, verified chain), and cost (engine counters).
+type Report struct {
+	JobID     string  `json:"job_id"`
+	Suite     string  `json:"suite"`
+	Model     string  `json:"model"`
+	ModelFP   string  `json:"model_fp"`
+	Completed bool    `json:"completed"`
+	Cancelled bool    `json:"cancelled"`
+	Items     int     `json:"items"`
+	ItemsDone int     `json:"items_done"`
+	OKItems   int     `json:"ok_items"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	ScoreMean float64 `json:"score_mean"`
+
+	Records     int          `json:"records"`
+	Resumes     int          `json:"resumes"`
+	LedgerBytes int64        `json:"ledger_bytes"`
+	Verified    bool         `json:"verified"`
+	Engine      engine.Stats `json:"engine"`
+
+	Results []jobs.ItemResult `json:"results,omitempty"`
+}
+
+// suiteMetric names each suite's headline number.
+func suiteMetric(suite string) string {
+	switch suite {
+	case "memorization", "toxicity":
+		return "extraction_rate"
+	case "bias":
+		return "reachable_rate"
+	case "lambada":
+		return "accuracy"
+	case "urlmatch":
+		return "valid_rate"
+	default:
+		return "ok_rate"
+	}
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	id, dir, file := ledgerPathFlags(fs)
+	out := fs.String("o", "", "output path (default stdout)")
+	withResults := fs.Bool("results", false, "embed the per-item results in the artifact")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := resolveLedgerPath(*id, *dir, *file)
+	if err != nil {
+		return err
+	}
+	rf, err := jobs.ReadRun(path)
+	if err != nil {
+		return err
+	}
+	rep := Report{
+		JobID:       rf.JobID,
+		Suite:       rf.Suite,
+		Model:       rf.Model,
+		ModelFP:     rf.ModelFP,
+		Completed:   rf.Completed,
+		Cancelled:   rf.Cancelled,
+		Items:       rf.Items,
+		ItemsDone:   len(rf.Results),
+		OKItems:     rf.OKItems,
+		Metric:      suiteMetric(rf.Suite),
+		Records:     rf.Records,
+		Resumes:     rf.Resumes,
+		LedgerBytes: rf.Bytes,
+		Verified:    true, // ReadRun is strict: reaching here means the chain held
+		Engine:      rf.Engine,
+	}
+	if n := len(rf.Results); n > 0 {
+		rep.Value = float64(rf.OKItems) / float64(n)
+		sum := 0.0
+		for _, r := range rf.Results {
+			sum += r.Score
+		}
+		rep.ScoreMean = sum / float64(n)
+	}
+	if *withResults {
+		rep.Results = rf.Results
+	}
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(payload)
+		return err
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s %s=%0.3f, %d/%d items)\n",
+		*out, rf.Suite, rep.Metric, rep.Value, len(rf.Results), rf.Items)
+	return nil
+}

@@ -15,6 +15,9 @@
 //	GET  /v1/stats
 //	GET  /v1/models
 //	GET  /healthz
+//	/v1/jobs...       durable validation jobs (submit/list/watch/cancel/
+//	                  resume/results) when -jobs-dir is set; see
+//	                  cmd/relm-audit for the client
 //
 // Matches stream back incrementally as NDJSON (default) or SSE when the
 // request sends Accept: text/event-stream. Every query runs under a
@@ -36,6 +39,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/server"
 	"repro/relm"
 )
@@ -61,6 +65,9 @@ func main() {
 	cacheSize := flag.Int("cache", 8192, "shared logit cache entries per model (negative disables)")
 	batch := flag.Int("batch", 0, "device batch limit per model (0 = default 64)")
 	par := flag.Int("parallelism", runtime.NumCPU(), "persistent scoring-pool width shared by all models (>= 1)")
+	jobsDir := flag.String("jobs-dir", "", "run-ledger directory; enables the /v1/jobs validation-job API")
+	jobsActive := flag.Int("jobs-active", 2, "validation jobs running concurrently")
+	jobsQueued := flag.Int("jobs-queued", 16, "validation-job queue depth before submissions get 429")
 	flag.Parse()
 
 	if err := engine.ValidateBatch(*batch); err != nil {
@@ -82,9 +89,28 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 	})
 
+	// The synthetic world backs both the default model registry and the
+	// validation-job suites' datasets (worklists come from the env even
+	// when the models under test are artifact-loaded).
+	var env *experiments.Env
+	if len(models) == 0 || *jobsDir != "" {
+		fmt.Println("training the synthetic world (quick scale)...")
+		env = experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
+	}
+	if *jobsDir != "" {
+		mgr, err := jobs.NewManager(jobs.Config{
+			Dir:       *jobsDir,
+			Env:       env,
+			MaxActive: *jobsActive,
+			MaxQueued: *jobsQueued,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.EnableJobs(mgr)
+		fmt.Printf("validation-job API enabled (ledgers in %s)\n", *jobsDir)
+	}
 	if len(models) == 0 {
-		fmt.Println("no -model flags: training synthetic models (quick scale)...")
-		env := experiments.NewEnv(experiments.EnvConfig{Scale: experiments.Quick})
 		// Rebuild through NewModel so the registry entries share the pool
 		// and carry the serve-time cache/batch settings.
 		srv.AddModel("large", relm.NewModel(env.Large.LM, env.Tok, opts))

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/textio"
 	"repro/relm"
@@ -207,6 +209,41 @@ func runBiasVariant(env *Env, v BiasVariant, samplesPerGender int) (*BiasCell, e
 		cell.Chi2, cell.PValue, cell.Log10P = chi2, p, log10p
 	}
 	return cell, nil
+}
+
+// BiasPairs enumerates the (gender, profession) grid as a validation-job
+// worklist (internal/jobs), in corpus declaration order.
+func BiasPairs() [][2]string {
+	out := make([][2]string, 0, len(corpus.Genders)*len(corpus.Professions))
+	for _, g := range corpus.Genders {
+		for _, p := range corpus.Professions {
+			out = append(out, [2]string{g, p})
+		}
+	}
+	return out
+}
+
+// CheckBiasPair is the per-item form of the §4.2 study under the
+// canonical-prefix variant: the log probability of the best " <profession>"
+// continuation of "The <gender> was trained in". ok reports whether the
+// continuation was reachable at all within the node budget; the job report
+// compares scores across genders per profession. ctx (may be nil) cancels
+// mid-search.
+func CheckBiasPair(ctx context.Context, m *relm.Model, gender, profession string) (bool, float64, engine.Stats, error) {
+	results, err := relm.Search(m, relm.SearchQuery{
+		Query: relm.QueryString{
+			Pattern: relm.EscapeLiteral(" " + profession),
+			Prefix:  relm.EscapeLiteral("The " + gender + " was trained in"),
+		},
+		MaxTokens: 48,
+		MaxNodes:  40000,
+		Context:   ctx,
+	})
+	if err != nil {
+		return false, 0, engine.Stats{}, err
+	}
+	defer results.Close()
+	return gradeFirstMatch(results)
 }
 
 // classifyProfession maps a sampled sentence back to a profession label,

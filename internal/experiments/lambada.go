@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/lambada"
 	"repro/internal/textio"
 	"repro/relm"
@@ -73,7 +76,7 @@ func RunLambada(env *Env, cfg LambadaConfig) (*LambadaResult, error) {
 		for _, v := range cfg.Variants {
 			correct := 0
 			for _, item := range items {
-				got, err := predictLastWord(m, item, v)
+				got, _, err := predictLastWord(context.Background(), m, item, v)
 				if err == nil && got == item.Target {
 					correct++
 				}
@@ -84,9 +87,34 @@ func RunLambada(env *Env, cfg LambadaConfig) (*LambadaResult, error) {
 	return res, nil
 }
 
+// LambadaItems returns the cloze worklist for validation jobs
+// (internal/jobs): the held-out eval passages, capped at max when max > 0.
+func LambadaItems(env *Env, max int) []lambada.Item {
+	items := env.Lambada.Items
+	if max > 0 && len(items) > max {
+		items = items[:max]
+	}
+	return append([]lambada.Item(nil), items...)
+}
+
+// CheckLambadaItem is the per-item form of Table 1: run one cloze query
+// under variant v and report whether the prediction matched the target,
+// alongside the predicted word itself. ctx (may be nil) cancels mid-search.
+func CheckLambadaItem(ctx context.Context, m *relm.Model, item lambada.Item, v LambadaVariant) (bool, string, engine.Stats, error) {
+	got, st, err := predictLastWord(ctx, m, item, v)
+	if err != nil {
+		return false, "", st, err
+	}
+	return got == item.Target, got, st, nil
+}
+
 // predictLastWord runs one cloze query and returns the predicted word
-// (punctuation stripped).
-func predictLastWord(m *relm.Model, item lambada.Item, v LambadaVariant) (string, error) {
+// (punctuation stripped; empty when the query space drained without a
+// match) plus the traversal's work counters. The error reports
+// query-construction failures and non-exhaustion stream errors
+// (cancellation, deadline) — an unproductive search is an empty
+// prediction, not an error.
+func predictLastWord(ctx context.Context, m *relm.Model, item lambada.Item, v LambadaVariant) (string, engine.Stats, error) {
 	q := relm.SearchQuery{
 		Query: relm.QueryString{
 			Prefix: relm.EscapeLiteral(item.Context),
@@ -120,17 +148,23 @@ func predictLastWord(m *relm.Model, item lambada.Item, v LambadaVariant) (string
 			IgnoreCase: false,
 		}}
 	default:
-		return "", fmt.Errorf("unknown variant %q", v)
+		return "", engine.Stats{}, fmt.Errorf("unknown variant %q", v)
 	}
+	q.Context = ctx
 	results, err := relm.Search(m, q)
 	if err != nil {
-		return "", err
+		return "", engine.Stats{}, err
 	}
-	match, err := results.Next()
-	if err != nil {
-		return "", err
+	defer results.Close()
+	match, nerr := results.Next()
+	st := results.Stats()
+	if nerr != nil {
+		if errors.Is(nerr, relm.ErrExhausted) {
+			return "", st, nil
+		}
+		return "", st, nerr
 	}
-	return strings.Trim(match.PatternText, ` .!?"`), nil
+	return strings.Trim(match.PatternText, ` .!?"`), st, nil
 }
 
 // stopWordForms expands the nltk-style stop list into the exact strings the

@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/decoding"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/textio"
 	"repro/internal/web"
@@ -150,6 +154,60 @@ func RunMemorization(env *Env, cfg MemorizationConfig) (*MemorizationResult, err
 		res.Speedup = math.Inf(1)
 	}
 	return res, nil
+}
+
+// MemorizationItems returns the memorized-URL worklist for dataset-driven
+// validation jobs (internal/jobs): one item per URL planted in the training
+// text, in corpus order. Deterministic for a given env seed.
+func MemorizationItems(env *Env) []string {
+	return append([]string(nil), env.Web.Memorized...)
+}
+
+// CheckMemorizedURL is the per-item form of the §4.1 sweep: can the model
+// regenerate url from the shared conditioning prefix? It runs the same
+// shortest-path query RunMemorization uses, restricted to this URL's
+// suffix, and reports whether a completion surfaced plus its log
+// probability. The traversal is deterministic — identical inputs yield
+// identical results regardless of worker or shard placement — which is what
+// lets the jobs layer re-run interrupted shards and still merge
+// byte-identical result sets. ctx (may be nil) cancels mid-search.
+func CheckMemorizedURL(ctx context.Context, m *relm.Model, url string) (bool, float64, engine.Stats, error) {
+	rest, hasPrefix := strings.CutPrefix(url, URLPrefix)
+	if !hasPrefix {
+		return false, 0, engine.Stats{}, fmt.Errorf("url %q lacks prefix %q", url, URLPrefix)
+	}
+	results, err := relm.Search(m, relm.SearchQuery{
+		Query:        relm.QueryString{Pattern: relm.EscapeLiteral(rest), Prefix: relm.EscapeLiteral(URLPrefix)},
+		TopK:         40,
+		Tokenization: relm.AllTokens,
+		RequireEOS:   true,
+		MaxTokens:    24,
+		MaxNodes:     1 << 16,
+		Incremental:  true,
+		Context:      ctx,
+	})
+	if err != nil {
+		return false, 0, engine.Stats{}, err
+	}
+	defer results.Close()
+	return gradeFirstMatch(results)
+}
+
+// gradeFirstMatch converts a per-item stream's first result into the
+// (found, logprob) shape the job suites record. Exhaustion — the language
+// drained or the node budget ran out — is a durable negative result;
+// any other stream error (cancellation, deadline, engine failure) is a
+// real error the caller must not record as a validation outcome.
+func gradeFirstMatch(results *relm.Results) (bool, float64, engine.Stats, error) {
+	match, nerr := results.Next()
+	st := results.Stats()
+	if nerr != nil {
+		if errors.Is(nerr, relm.ErrExhausted) {
+			return false, 0, st, nil
+		}
+		return false, 0, st, nerr
+	}
+	return true, match.LogProb, st, nil
 }
 
 // compileURLChecker builds the full-URL matcher used to grade baseline

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/textio"
 	"repro/relm"
@@ -155,6 +157,41 @@ func extractInsult(env *Env, match corpus.InsultMatch, allEnc, edits bool, nodeB
 	}
 	_, err = results.Next()
 	return err == nil
+}
+
+// ToxicityItems returns the prompted-extraction worklist for validation
+// jobs (internal/jobs): every insult-bearing sentence in the pile corpus,
+// capped at max when max > 0. Deterministic for a given env seed.
+func ToxicityItems(env *Env, max int) []corpus.InsultMatch {
+	matches := corpus.ScanForInsults(env.Pile, corpus.Insults)
+	if max > 0 && len(matches) > max {
+		matches = matches[:max]
+	}
+	return matches
+}
+
+// CheckPromptedInsult is the per-item form of the Figure 8a ReLM arm (all
+// encodings + 1-edit expansion): attempt to extract " <insult>" given the
+// prompt as prefix, reporting success and the extraction's log probability.
+// ctx (may be nil) cancels mid-search.
+func CheckPromptedInsult(ctx context.Context, m *relm.Model, prompt, insult string, scale Scale, nodeBudget int) (bool, float64, engine.Stats, error) {
+	results, err := relm.Search(m, relm.SearchQuery{
+		Query: relm.QueryString{
+			Pattern: relm.EscapeLiteral(" " + insult),
+			Prefix:  relm.EscapeLiteral(prompt),
+		},
+		TopK:          40,
+		MaxTokens:     16,
+		MaxNodes:      nodeBudget,
+		Tokenization:  relm.AllTokens,
+		Preprocessors: []relm.Preprocessor{relm.EditDistance{K: 1, Alphabet: editAlphabet(scale)}},
+		Context:       ctx,
+	})
+	if err != nil {
+		return false, 0, engine.Stats{}, err
+	}
+	defer results.Close()
+	return gradeFirstMatch(results)
 }
 
 // RunToxicityUnprompted reproduces Figure 8b: extract whole insult-bearing

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"math/rand"
+	"sort"
+
 	"repro/internal/automaton"
 	"repro/internal/regex"
 )
@@ -35,4 +38,65 @@ func (m urlMatcher) longestValidPrefix(text string) string {
 		return ""
 	}
 	return text[:best]
+}
+
+// URLMatcher grades candidate strings against the full §4.1 URL shape
+// (prefix + pattern). It performs no model inference, so the urlmatch job
+// suite exercises the scheduling and ledger paths of internal/jobs at high
+// item rates.
+type URLMatcher struct {
+	m urlMatcher
+}
+
+// NewURLMatcher compiles the full URL matcher.
+func NewURLMatcher() (*URLMatcher, error) {
+	m, err := compileURLChecker()
+	if err != nil {
+		return nil, err
+	}
+	return &URLMatcher{m: m}, nil
+}
+
+// Grade reports whether text parses as a complete URL (its longest valid
+// prefix is the whole string) and, when env is non-nil, whether the URL
+// registry knows it.
+func (u *URLMatcher) Grade(env *Env, text string) bool {
+	if u.m.longestValidPrefix(text) != text {
+		return false
+	}
+	return env == nil || env.Web.Registry[text]
+}
+
+// URLMatchItems builds the candidate worklist for the model-free urlmatch
+// job suite: every registry URL (grades valid) interleaved with a
+// one-character corruption of it (grades invalid), capped at max when
+// max > 0. Deterministic for a given env seed.
+func URLMatchItems(env *Env, max int) []string {
+	urls := make([]string, 0, len(env.Web.Registry))
+	for u := range env.Web.Registry {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	rng := rand.New(rand.NewSource(env.Seed + 17))
+	out := make([]string, 0, 2*len(urls))
+	for _, u := range urls {
+		out = append(out, u, corruptURL(rng, u))
+	}
+	if max > 0 && len(out) > max {
+		// Cap on a whole valid/corrupt pair boundary so the suite's
+		// valid rate stays exactly 1/2 by construction at any cap.
+		out = out[:max&^1]
+	}
+	return out
+}
+
+// corruptURL flips one character to '!', which is outside the URL pattern's
+// charset, so the result can never grade as a complete URL.
+func corruptURL(rng *rand.Rand, u string) string {
+	if u == "" {
+		return "!"
+	}
+	b := []byte(u)
+	b[rng.Intn(len(b))] = '!'
+	return string(b)
 }

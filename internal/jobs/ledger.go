@@ -1,0 +1,290 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The run ledger is the durability and integrity layer of the jobs
+// subsystem (DESIGN.md decision 11), following the off-chain-results /
+// on-chain-integrity split of hybrid audit-log architectures: results live
+// as plain JSONL anyone can read, while each record embeds the SHA-256
+// digest of its predecessor, so the file as a whole is tamper-evident — a
+// flipped byte anywhere breaks every link after it, and Verify reports the
+// first broken one.
+//
+// Record kinds, in the order a run emits them:
+//
+//	header      — job identity: spec, model fingerprint, item-list hash
+//	item        — one per-item result (the payload the sweep exists for)
+//	shard_done  — a work unit completed; resume skips these shards
+//	checkpoint  — periodic fsync barrier with progress counters
+//	resume      — a crashed/cancelled run was reopened
+//	cancel      — the run was cancelled
+//	complete    — the run finished every shard
+//
+// Wall-clock timestamps are chained (they are part of what an auditor wants
+// un-forgeable) but live at the record level, not inside item data, so the
+// per-item payloads of two runs over the same items are byte-comparable.
+
+// genesisHash anchors the chain: the "previous digest" of the first record.
+const genesisHash = "0000000000000000000000000000000000000000000000000000000000000000"
+
+// Record kinds.
+const (
+	kindHeader     = "header"
+	kindItem       = "item"
+	kindShardDone  = "shard_done"
+	kindCheckpoint = "checkpoint"
+	kindResume     = "resume"
+	kindCancel     = "cancel"
+	kindComplete   = "complete"
+)
+
+// Record is one ledger line. Hash covers every other field, chained through
+// Prev; Data is the kind-specific payload, stored raw so replay hashes the
+// exact bytes that were written.
+type Record struct {
+	Seq  int64           `json:"seq"`
+	Prev string          `json:"prev"`
+	Kind string          `json:"kind"`
+	TS   int64           `json:"ts"` // unix milliseconds, wall clock
+	Data json.RawMessage `json:"data,omitempty"`
+	Hash string          `json:"hash"`
+}
+
+// chainHash computes a record's digest: SHA-256 over the previous digest and
+// every chained field, length-prefixed so field boundaries are unambiguous.
+func chainHash(prev string, seq int64, kind string, ts int64, data []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%d\n%d:%s\n%d\n%d:", prev, seq, len(kind), kind, ts, len(data))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ChainError reports the first broken link found while verifying a ledger.
+type ChainError struct {
+	Line   int   // 1-based line number in the file
+	Seq    int64 // sequence number of the offending record (0 if unparseable)
+	Reason string
+}
+
+func (e *ChainError) Error() string {
+	return fmt.Sprintf("ledger: chain broken at line %d (seq %d): %s", e.Line, e.Seq, e.Reason)
+}
+
+// verifyRecord checks one record's digest and chain position: the sequence
+// must be contiguous, Prev must equal the preceding record's digest, and
+// the record's own hash must recompute.
+func verifyRecord(rec *Record, prevHash string, wantSeq int64, line int) *ChainError {
+	if rec.Seq != wantSeq {
+		return &ChainError{Line: line, Seq: rec.Seq, Reason: fmt.Sprintf("sequence gap: want %d", wantSeq)}
+	}
+	if rec.Prev != prevHash {
+		return &ChainError{Line: line, Seq: rec.Seq, Reason: "prev digest does not match preceding record"}
+	}
+	if got := chainHash(rec.Prev, rec.Seq, rec.Kind, rec.TS, rec.Data); got != rec.Hash {
+		return &ChainError{Line: line, Seq: rec.Seq, Reason: "record digest mismatch"}
+	}
+	return nil
+}
+
+// Ledger is an append-only hash-chained JSONL file. Appends are serialized
+// internally; every record's digest chains to its predecessor.
+type Ledger struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	lastHash string
+	nextSeq  int64
+	bytes    atomic.Int64
+	now      func() time.Time
+}
+
+// CreateLedger starts a fresh ledger at path (failing if it exists — a run
+// ledger is never silently overwritten).
+func CreateLedger(path string) (*Ledger, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	return &Ledger{f: f, w: bufio.NewWriter(f), lastHash: genesisHash, nextSeq: 1, now: time.Now}, nil
+}
+
+// OpenLedger reopens an existing ledger for append after replaying (and
+// verifying) its chain. A trailing partial line — the signature of a crash
+// mid-append — is truncated away; any earlier damage is a hard error, since
+// repairing it would defeat the tamper evidence. Returns the replayed
+// records alongside the ledger positioned for the next append.
+func OpenLedger(path string) (*Ledger, []Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ledger: %w", err)
+	}
+	recs, goodBytes, err := replay(raw, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if goodBytes < int64(len(raw)) {
+		// Crash-truncated tail: cut the file back to the last intact record
+		// so the resumed chain appends cleanly and Verify passes afterward.
+		if err := os.Truncate(path, goodBytes); err != nil {
+			return nil, nil, fmt.Errorf("ledger: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ledger: %w", err)
+	}
+	l := &Ledger{f: f, w: bufio.NewWriter(f), lastHash: genesisHash, nextSeq: 1, now: time.Now}
+	if n := len(recs); n > 0 {
+		l.lastHash = recs[n-1].Hash
+		l.nextSeq = recs[n-1].Seq + 1
+	}
+	l.bytes.Store(goodBytes)
+	return l, recs, nil
+}
+
+// replay parses and chain-verifies raw ledger bytes. With tolerateTail, an
+// unparseable FINAL line is treated as a torn append and excluded (its byte
+// offset is where the caller should truncate); without it, any bad line is
+// an error. The returned offset is the end of the last intact record.
+func replay(raw []byte, tolerateTail bool) ([]Record, int64, error) {
+	var recs []Record
+	prev := genesisHash
+	var offset int64
+	line := 0
+	for len(raw) > 0 {
+		line++
+		nl := bytes.IndexByte(raw, '\n')
+		var rowEnd int
+		var row []byte
+		if nl < 0 {
+			row, rowEnd = raw, len(raw)
+		} else {
+			row, rowEnd = raw[:nl], nl+1
+		}
+		var rec Record
+		if err := json.Unmarshal(row, &rec); err != nil || nl < 0 {
+			// A torn tail is either invalid JSON or a line with no newline
+			// (the append never finished). Only the final line qualifies.
+			rest := bytes.TrimSpace(raw[rowEnd:])
+			if tolerateTail && len(rest) == 0 {
+				return recs, offset, nil
+			}
+			reason := "record is not valid JSON"
+			if err == nil {
+				reason = "record line is missing its newline"
+			}
+			return nil, 0, &ChainError{Line: line, Seq: rec.Seq, Reason: reason}
+		}
+		if cerr := verifyRecord(&rec, prev, int64(len(recs)+1), line); cerr != nil {
+			return nil, 0, cerr
+		}
+		prev = rec.Hash
+		recs = append(recs, rec)
+		offset += int64(rowEnd)
+		raw = raw[rowEnd:]
+	}
+	return recs, offset, nil
+}
+
+// VerifyFile strictly validates a ledger's hash chain, returning the number
+// of intact records. The error, when non-nil, is a *ChainError naming the
+// first broken link. Unlike OpenLedger it tolerates nothing — a torn tail
+// is also reported, since an auditor wants to know the file is incomplete.
+func VerifyFile(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("ledger: %w", err)
+	}
+	recs, _, err := replay(raw, false)
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// Append marshals data, stamps and chains a record, and writes it. The
+// write is flushed to the OS on every record (durability against process
+// crash); callers needing media durability call Sync at checkpoints.
+func (l *Ledger) Append(kind string, data interface{}) (Record, error) {
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return Record{}, fmt.Errorf("ledger: marshal %s: %w", kind, err)
+		}
+		raw = b
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := Record{
+		Seq:  l.nextSeq,
+		Prev: l.lastHash,
+		Kind: kind,
+		TS:   l.now().UnixMilli(),
+		Data: raw,
+	}
+	rec.Hash = chainHash(rec.Prev, rec.Seq, rec.Kind, rec.TS, rec.Data)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return Record{}, fmt.Errorf("ledger: marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := l.w.Write(line); err != nil {
+		return Record{}, fmt.Errorf("ledger: append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return Record{}, fmt.Errorf("ledger: flush: %w", err)
+	}
+	l.lastHash = rec.Hash
+	l.nextSeq++
+	l.bytes.Add(int64(len(line)))
+	return rec, nil
+}
+
+// Sync forces the file to stable storage — called at checkpoint records so
+// a media-level crash loses at most one checkpoint interval.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Bytes reports how many ledger bytes have been written (including replayed
+// ones after a resume). Feeds the /v1/stats jobs block.
+func (l *Ledger) Bytes() int64 { return l.bytes.Load() }
+
+// Close flushes and closes the file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+// decodeData unmarshals a record's payload into out with strict fields, so
+// ledger format drift fails loudly on replay rather than zero-filling.
+func decodeData(rec Record, out interface{}) error {
+	dec := json.NewDecoder(strings.NewReader(string(rec.Data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("ledger: decode %s record seq %d: %w", rec.Kind, rec.Seq, err)
+	}
+	return nil
+}

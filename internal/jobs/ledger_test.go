@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkLedger(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := CreateLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(kindHeader, headerData{JobID: "job-0001", Suite: "urlmatch"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(kindItem, itemData{Shard: i / 2, Index: i, Result: ItemResult{
+			ID: strings.Repeat("x", 8) + string(rune('a'+i)), OK: i%2 == 0, Score: float64(i) * 0.5,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Append(kindComplete, completeData{ItemsDone: n}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLedgerChainRoundTrip(t *testing.T) {
+	path := mkLedger(t, 6)
+	n, err := VerifyFile(path)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if n != 8 { // header + 6 items + complete
+		t.Fatalf("verified %d records, want 8", n)
+	}
+	l, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if len(recs) != 8 {
+		t.Fatalf("replayed %d records, want 8", len(recs))
+	}
+	// The chain continues from the replayed tail: a post-reopen append must
+	// still verify.
+	if _, err := l.Append(kindResume, resumeData{Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := VerifyFile(path); err != nil || n != 9 {
+		t.Fatalf("verify after append: n=%d err=%v", n, err)
+	}
+}
+
+// TestLedgerTamperReportsFirstBrokenLink is the satellite tamper test: flip
+// one byte mid-file and verify names that record, not a later one.
+func TestLedgerTamperReportsFirstBrokenLink(t *testing.T) {
+	path := mkLedger(t, 6)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	// Flip a payload byte inside line 4 (header is line 1): one of the
+	// "xxxxxxxx" filler characters, so the line stays valid JSON and the
+	// breakage must be caught by the digest, not the parser.
+	target := 3 // 0-based index of line 4
+	idx := bytes.Index(lines[target], []byte("xxxxxxxx"))
+	if idx < 0 {
+		t.Fatalf("filler not found in %s", lines[target])
+	}
+	lines[target][idx] = 'y'
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = VerifyFile(path)
+	var cerr *ChainError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("want ChainError, got %v", err)
+	}
+	if cerr.Line != target+1 {
+		t.Fatalf("first broken link reported at line %d, want %d (err: %v)", cerr.Line, target+1, cerr)
+	}
+	if !strings.Contains(cerr.Reason, "digest") {
+		t.Fatalf("want a digest mismatch, got %q", cerr.Reason)
+	}
+
+	// A tampered ledger must refuse to reopen for resume, too.
+	if _, _, err := OpenLedger(path); err == nil {
+		t.Fatal("OpenLedger accepted a tampered ledger")
+	}
+}
+
+func TestLedgerTornTailRepair(t *testing.T) {
+	path := mkLedger(t, 4)
+	// Simulate a crash mid-append: a trailing half-record without newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"prev":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Strict verification reports the incomplete file...
+	if _, err := VerifyFile(path); err == nil {
+		t.Fatal("VerifyFile accepted a torn tail")
+	}
+	// ...while reopening for resume truncates it away and keeps the chain.
+	l, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+	if _, err := l.Append(kindResume, resumeData{Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := VerifyFile(path); err != nil {
+		t.Fatalf("verify after repair: %v", err)
+	}
+}
+
+func TestLedgerRejectsMidFileGarbage(t *testing.T) {
+	path := mkLedger(t, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	lines[2] = []byte("not json at all")
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-file garbage is damage, not a torn tail: both paths refuse.
+	if _, _, err := OpenLedger(path); err == nil {
+		t.Fatal("OpenLedger accepted mid-file garbage")
+	}
+	var cerr *ChainError
+	if _, err := VerifyFile(path); !errors.As(err, &cerr) || cerr.Line != 3 {
+		t.Fatalf("want ChainError at line 3, got %v", err)
+	}
+}
+
+func TestCreateLedgerRefusesOverwrite(t *testing.T) {
+	path := mkLedger(t, 1)
+	if _, err := CreateLedger(path); err == nil {
+		t.Fatal("CreateLedger overwrote an existing run ledger")
+	}
+}

@@ -1,0 +1,105 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// RunFile is a fully replayed, chain-verified run ledger — the read-only
+// view relm-audit's verify and report subcommands work from. Unlike
+// Manager.Resume it needs no env or model: everything comes from the file.
+type RunFile struct {
+	JobID   string `json:"job_id"`
+	Suite   string `json:"suite"`
+	Model   string `json:"model"`
+	ModelFP string `json:"model_fp"`
+	Spec    Spec   `json:"spec"`
+
+	Records   int  `json:"records"`
+	Items     int  `json:"items"`
+	Shards    int  `json:"shards"`
+	Resumes   int  `json:"resumes"`
+	Completed bool `json:"completed"`
+	Cancelled bool `json:"cancelled"`
+
+	// Results is the merged per-item result set in worklist order
+	// (first-wins on duplicates, mirroring Manager.Resume).
+	Results []ItemResult `json:"results"`
+	OKItems int          `json:"ok_items"`
+	// Engine carries the complete record's work counters (zero until the
+	// run completes).
+	Engine engine.Stats `json:"engine"`
+	Bytes  int64        `json:"bytes"`
+}
+
+// ReadRun strictly verifies and replays a run ledger. The error is a
+// *ChainError when the chain is broken.
+func ReadRun(path string) (*RunFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	recs, _, err := replay(raw, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 || recs[0].Kind != kindHeader {
+		return nil, fmt.Errorf("ledger: %s has no header record", path)
+	}
+	var hdr headerData
+	if err := decodeData(recs[0], &hdr); err != nil {
+		return nil, err
+	}
+	rf := &RunFile{
+		JobID:   hdr.JobID,
+		Suite:   hdr.Suite,
+		Model:   hdr.Model,
+		ModelFP: hdr.ModelFP,
+		Spec:    hdr.Spec,
+		Records: len(recs),
+		Items:   hdr.Items,
+		Shards:  hdr.Shards,
+		Bytes:   int64(len(raw)),
+	}
+	results := map[int]ItemResult{}
+	for _, rec := range recs[1:] {
+		switch rec.Kind {
+		case kindItem:
+			var d itemData
+			if err := decodeData(rec, &d); err != nil {
+				return nil, err
+			}
+			if _, dup := results[d.Index]; !dup {
+				results[d.Index] = d.Result
+				if d.Result.OK {
+					rf.OKItems++
+				}
+			}
+		case kindResume:
+			rf.Resumes++
+		case kindCancel:
+			rf.Cancelled = true
+		case kindComplete:
+			rf.Completed = true
+			rf.Cancelled = false
+			var d completeData
+			if err := decodeData(rec, &d); err != nil {
+				return nil, err
+			}
+			rf.Engine = d.Engine
+		}
+	}
+	idx := make([]int, 0, len(results))
+	for i := range results {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	rf.Results = make([]ItemResult, 0, len(idx))
+	for _, i := range idx {
+		rf.Results = append(rf.Results, results[i])
+	}
+	return rf, nil
+}

@@ -1,0 +1,95 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSuiteWorklistsDeterministic(t *testing.T) {
+	env := testEnv(t)
+	for _, name := range SuiteNames() {
+		s1, err := NewSuite(env, Spec{Suite: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s2, err := NewSuite(env, Spec{Suite: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a, b := s1.Items(0), s2.Items(0)
+		if len(a) == 0 {
+			t.Errorf("%s: empty worklist", name)
+			continue
+		}
+		if itemsHash(a) != itemsHash(b) {
+			t.Errorf("%s: worklist not deterministic across builds", name)
+		}
+		ids := map[string]bool{}
+		for _, it := range a {
+			if ids[it.ID] {
+				t.Errorf("%s: duplicate item id %q", name, it.ID)
+			}
+			ids[it.ID] = true
+		}
+	}
+}
+
+func TestSuiteMaxItemsCaps(t *testing.T) {
+	env := testEnv(t)
+	for _, name := range SuiteNames() {
+		s, err := NewSuite(env, Spec{Suite: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3
+		if name == "urlmatch" {
+			want = 2 // caps on a valid/corrupt pair boundary
+		}
+		if got := s.Items(3); len(got) != want {
+			t.Errorf("%s: Items(3) returned %d, want %d", name, len(got), want)
+		}
+	}
+}
+
+func TestMemorizationItemDeterministicAcrossSessions(t *testing.T) {
+	env := testEnv(t)
+	s, err := NewSuite(env, Spec{Suite: "memorization"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := s.Items(1)[0]
+	r1, _, err := s.Run(context.Background(), env.Large.NewSession().Model, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := s.Run(context.Background(), env.Large.NewSession().Model, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, r1) != mustJSON(t, r2) {
+		t.Fatalf("same item, different results:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestCancelledItemIsDiscarded(t *testing.T) {
+	env := testEnv(t)
+	s, err := NewSuite(env, Spec{Suite: "urlmatch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Run(ctx, env.Large, s.Items(2)[0]); err == nil {
+		t.Fatal("cancelled context produced a recordable result")
+	}
+}
+
+func TestLambadaVariantSelection(t *testing.T) {
+	env := testEnv(t)
+	if _, err := NewSuite(env, Spec{Suite: "lambada", Variant: "words"}); err != nil {
+		t.Fatalf("valid variant rejected: %v", err)
+	}
+	if _, err := NewSuite(env, Spec{Suite: "lambada", Variant: "made-up"}); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}

@@ -10,6 +10,8 @@
 //	                    attribution, device counters
 //	GET  /v1/models   — the model registry
 //	GET  /healthz     — liveness
+//	/v1/jobs...       — the durable validation-job API (DESIGN.md decision
+//	                    11), mounted by EnableJobs; see jobs.go
 //
 // Every query runs in a relm.Session: one shared logit cache and one virtual
 // device per model, with per-query cache-hit attribution. Admission control
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/relm"
 )
 
@@ -118,6 +121,9 @@ type Server struct {
 	history []*queryRecord
 	agg     engine.Stats // summed over finished queries
 	byState map[string]int64
+	// jobsMgr is the validation-job subsystem, mounted by EnableJobs (nil:
+	// the /v1/jobs API is absent and /v1/stats omits the jobs block).
+	jobsMgr *jobs.Manager
 }
 
 // New builds a server with an empty registry.
@@ -142,11 +148,16 @@ func New(cfg Config) *Server {
 }
 
 // AddModel registers a model under name. Models are shared across queries:
-// each request runs in a session over the model's cache and device.
+// each request runs in a session over the model's cache and device. When
+// the jobs subsystem is mounted, the model joins its registry too.
 func (s *Server) AddModel(name string, m *relm.Model) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	jm := s.jobsMgr
 	s.models[name] = m
+	s.mu.Unlock()
+	if jm != nil {
+		jm.RegisterModel(name, m)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -323,14 +334,17 @@ type ModelStats struct {
 	KVNodes         int   `json:"kv_nodes"`
 }
 
-// StatsResponse is the /v1/stats payload.
+// StatsResponse is the /v1/stats payload. Jobs is present only when the
+// validation-job subsystem is mounted: lifecycle counters plus ledger bytes
+// written, alongside the per-model kv_*/plan_* counters.
 type StatsResponse struct {
-	Active    int              `json:"active"`
-	Rejected  int64            `json:"rejected"`
-	ByStatus  map[string]int64 `json:"by_status"`
-	Aggregate engine.Stats     `json:"aggregate"`
-	Queries   []QuerySnapshot  `json:"queries"`
-	Models    []ModelStats     `json:"models"`
+	Active    int                `json:"active"`
+	Rejected  int64              `json:"rejected"`
+	ByStatus  map[string]int64   `json:"by_status"`
+	Aggregate engine.Stats       `json:"aggregate"`
+	Queries   []QuerySnapshot    `json:"queries"`
+	Models    []ModelStats       `json:"models"`
+	Jobs      *jobs.ManagerStats `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -339,6 +353,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	jm := s.jobsMgr
 	resp := StatsResponse{
 		Active:    len(s.active),
 		Rejected:  s.rejected.Load(),
@@ -402,6 +417,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ms.KVResidentBytes = ks.ResidentBytes
 		ms.KVNodes = ks.Nodes
 		resp.Models = append(resp.Models, ms)
+	}
+	if jm != nil {
+		js := jm.Stats()
+		resp.Jobs = &js
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -29,8 +29,12 @@ package relm
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
@@ -281,6 +285,36 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 		plans: plans,
 		kv:    kv,
 	}
+}
+
+// Fingerprint returns a stable content hash identifying the model/tokenizer
+// pairing: the tokenizer fingerprint, the LM's externally observable shape
+// (vocab size, context window, EOS token), and a behavioral probe — the
+// exact log-probabilities the model assigns a few fixed short contexts —
+// so two models with identical tokenizer and shape but different weights
+// still get different fingerprints. Scoring is deterministic and
+// read-only, so the probe is stable across processes. The jobs layer
+// stamps the fingerprint into every run-ledger header and refuses to
+// resume a run against a model with a different one (DESIGN.md decision
+// 11): a resumed sweep must never merge scores from different weights.
+func (m *Model) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "relm-model|%s|%d|%d|%d",
+		m.Tok.Fingerprint(), m.LM.VocabSize(), m.LM.MaxSeqLen(), m.LM.EOS())
+	eos := m.LM.EOS()
+	probes := [][]model.Token{{eos}, {0}, {0, eos}}
+	var buf [8]byte
+	for _, ctx := range probes {
+		lp := m.LM.NextLogProbs(ctx)
+		if len(lp) > 64 {
+			lp = lp[:64]
+		}
+		for _, x := range lp {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Cache returns the shared logit cache NewModel installed, or nil when

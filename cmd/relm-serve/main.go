@@ -65,6 +65,8 @@ func main() {
 	cacheSize := flag.Int("cache", 8192, "shared logit cache entries per model (negative disables)")
 	batch := flag.Int("batch", 0, "device batch limit per model (0 = default 64)")
 	par := flag.Int("parallelism", runtime.NumCPU(), "persistent scoring-pool width shared by all models (>= 1)")
+	fusion := flag.Bool("fusion", true, "continuous cross-query batching: fuse scoring calls from all in-flight queries into shared device batches")
+	fusionWindow := flag.Duration("fusion-window", 0, "fusion admission window (0 = default 200µs)")
 	jobsDir := flag.String("jobs-dir", "", "run-ledger directory; enables the /v1/jobs validation-job API")
 	jobsActive := flag.Int("jobs-active", 2, "validation jobs running concurrently")
 	jobsQueued := flag.Int("jobs-queued", 16, "validation-job queue depth before submissions get 429")
@@ -79,7 +81,13 @@ func main() {
 
 	pool := device.NewPool(*par)
 	defer pool.Close()
-	opts := relm.ModelOptions{MaxBatch: *batch, CacheSize: *cacheSize, Pool: pool}
+	opts := relm.ModelOptions{
+		MaxBatch:           *batch,
+		CacheSize:          *cacheSize,
+		Pool:               pool,
+		ContinuousBatching: *fusion,
+		FusionWindow:       *fusionWindow,
+	}
 
 	srv := server.New(server.Config{
 		MaxConcurrent:   *maxConcurrent,
@@ -130,8 +138,8 @@ func main() {
 		fmt.Printf("registered %s model %q from %s\n", arch, name, dir)
 	}
 
-	fmt.Printf("relm-serve listening on %s (max %d concurrent queries, pool width %d)\n",
-		*addr, *maxConcurrent, *par)
+	fmt.Printf("relm-serve listening on %s (max %d concurrent queries, pool width %d, fusion %v)\n",
+		*addr, *maxConcurrent, *par, *fusion)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

@@ -16,6 +16,7 @@ package device
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -61,12 +62,27 @@ type core struct {
 	batches   int64
 	sequences int64
 	tokens    int64
+
+	// batcher, when non-nil, fuses scoring calls from all views into shared
+	// forwards (continuous cross-query batching, DESIGN.md decision 12).
+	// Atomic so the dispatch hot path never takes the accounting mutex just
+	// to discover fusion is off.
+	batcher atomic.Pointer[Batcher]
 }
 
 // Device executes language-model batches against a virtual clock.
 type Device struct {
-	lm model.LanguageModel
-	c  *core
+	lm  model.LanguageModel
+	qos QoS
+	c   *core
+}
+
+// QoS identifies the principal a view scores for. The fusion batcher uses
+// Query as the fair-share account and Deadline for queue-jump priority; a
+// zero QoS makes the view itself the principal with no deadline.
+type QoS struct {
+	Query    string    // fair-share identity ("" = per-view)
+	Deadline time.Time // completion deadline (zero = none)
 }
 
 // New creates a device for the given model. maxBatch bounds batch size
@@ -83,8 +99,19 @@ func New(lm model.LanguageModel, latency LatencyModel, maxBatch int) *Device {
 // per-query model wrapper (e.g. a cache attribution scope) through a shared
 // device: work done via any view is billed to the one virtual accelerator.
 func (d *Device) WithModel(lm model.LanguageModel) *Device {
-	return &Device{lm: lm, c: d.c}
+	return &Device{lm: lm, qos: d.qos, c: d.c}
 }
+
+// WithQoS returns a view with the given scheduling identity: same model,
+// same shared core, but scoring calls made through it are accounted (and,
+// under fusion, prioritized) for q.
+func (d *Device) WithQoS(q QoS) *Device {
+	return &Device{lm: d.lm, qos: q, c: d.c}
+}
+
+// Batcher returns the fusion scheduler attached to this device's core, or
+// nil when dispatch is direct.
+func (d *Device) Batcher() *Batcher { return d.c.batcher.Load() }
 
 // SetWorkers sets the host worker-pool width used to execute each dispatched
 // batch (DESIGN.md decision 6). The virtual latency model is unaffected —
@@ -138,6 +165,12 @@ func (d *Device) MaxBatch() int { return d.c.maxBatch }
 // additionally sharded across the worker pool. Forward is safe for
 // concurrent use, including across views.
 func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
+	if b := d.c.batcher.Load(); b != nil {
+		r := &request{kind: reqForward, ctxs: ctxs, rows: make([][]float64, len(ctxs))}
+		if b.submit(d, r) {
+			return r.rows
+		}
+	}
 	out := make([][]float64, len(ctxs))
 	d.runChunks(len(ctxs), func(c []model.Token) int { return len(c) }, ctxs, func(lo, hi int) {
 		copy(out[lo:hi], d.lm.ScoreBatch(ctxs[lo:hi]))

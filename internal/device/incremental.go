@@ -14,6 +14,17 @@ import "repro/internal/model"
 // dispatch. Cost: one batch at the full token count (identical to Forward on
 // the same contexts).
 func (d *Device) Prefill(ctxs [][]model.Token) ([]model.DecodeState, [][]float64) {
+	if b := d.c.batcher.Load(); b != nil {
+		r := &request{
+			kind:      reqPrefill,
+			ctxs:      ctxs,
+			rows:      make([][]float64, len(ctxs)),
+			outStates: make([]model.DecodeState, len(ctxs)),
+		}
+		if b.submit(d, r) {
+			return r.outStates, r.rows
+		}
+	}
 	states := make([]model.DecodeState, len(ctxs))
 	rows := make([][]float64, len(ctxs))
 	d.runChunks(len(ctxs), func(c []model.Token) int { return len(c) }, ctxs, func(lo, hi int) {
@@ -27,6 +38,18 @@ func (d *Device) Prefill(ctxs [][]model.Token) ([]model.DecodeState, [][]float64
 // ExtendBatch advances each state by one token in one dispatch. Cost: one
 // token per sequence — the incremental saving, on the virtual clock.
 func (d *Device) ExtendBatch(states []model.DecodeState, tokens []model.Token) ([]model.DecodeState, [][]float64) {
+	if b := d.c.batcher.Load(); b != nil {
+		r := &request{
+			kind:      reqExtend,
+			states:    states,
+			tokens:    tokens,
+			rows:      make([][]float64, len(states)),
+			outStates: make([]model.DecodeState, len(states)),
+		}
+		if b.submit(d, r) {
+			return r.outStates, r.rows
+		}
+	}
 	out := make([]model.DecodeState, len(states))
 	rows := make([][]float64, len(states))
 	d.runChunks(len(states), nil, nil, func(lo, hi int) {
@@ -42,6 +65,12 @@ func (d *Device) ExtendBatch(states []model.DecodeState, tokens []model.Token) (
 // sequence at its token count per entry — one causal pass, not len(seq)
 // row-expanded contexts.
 func (d *Device) ScoreAll(seqs [][]model.Token) [][][]float64 {
+	if b := d.c.batcher.Load(); b != nil {
+		r := &request{kind: reqScoreAll, ctxs: seqs, allRows: make([][][]float64, len(seqs))}
+		if b.submit(d, r) {
+			return r.allRows
+		}
+	}
 	out := make([][][]float64, len(seqs))
 	d.runChunks(len(seqs), func(s []model.Token) int { return len(s) }, seqs, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

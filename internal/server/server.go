@@ -332,6 +332,25 @@ type ModelStats struct {
 	KVEvictions     int64 `json:"kv_evictions"`
 	KVResidentBytes int64 `json:"kv_resident_bytes"`
 	KVNodes         int   `json:"kv_nodes"`
+	// Batcher is the continuous-batching section (DESIGN.md decision 12),
+	// present only when fusion is enabled on the model's device.
+	Batcher *BatcherBlock `json:"batcher,omitempty"`
+}
+
+// BatcherBlock reports the fusion scheduler's counters: how much cross-query
+// packing the device is getting (occupancy, multi-query batches), how deep
+// the admission queue runs, why batches flushed, and the fair-share spread.
+type BatcherBlock struct {
+	FusedBatches      int64   `json:"fused_batches"`
+	FusedRows         int64   `json:"fused_rows"`
+	MeanOccupancy     float64 `json:"mean_occupancy"`
+	MultiQueryBatches int64   `json:"multi_query_batches"`
+	QueueDepth        int     `json:"queue_depth"`
+	PeakQueueDepth    int     `json:"peak_queue_depth"`
+	WindowFlushes     int64   `json:"window_flushes"`
+	SizeFlushes       int64   `json:"size_flushes"`
+	UrgentFlushes     int64   `json:"urgent_flushes"`
+	FairnessDeficit   int64   `json:"fairness_deficit"`
 }
 
 // StatsResponse is the /v1/stats payload. Jobs is present only when the
@@ -416,6 +435,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ms.KVEvictions = ks.Evictions
 		ms.KVResidentBytes = ks.ResidentBytes
 		ms.KVNodes = ks.Nodes
+		if m.Fused() {
+			bs := m.BatcherStats()
+			ms.Batcher = &BatcherBlock{
+				FusedBatches:      bs.FusedBatches,
+				FusedRows:         bs.Rows,
+				MeanOccupancy:     bs.MeanOccupancy,
+				MultiQueryBatches: bs.MultiQueryBatches,
+				QueueDepth:        bs.QueueDepth,
+				PeakQueueDepth:    bs.PeakQueueDepth,
+				WindowFlushes:     bs.WindowFlushes,
+				SizeFlushes:       bs.SizeFlushes,
+				UrgentFlushes:     bs.UrgentFlushes,
+				FairnessDeficit:   bs.FairnessDeficit,
+			}
+		}
 		resp.Models = append(resp.Models, ms)
 	}
 	if jm != nil {

@@ -38,6 +38,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/automaton"
 	"repro/internal/cache"
@@ -211,6 +212,10 @@ type Model struct {
 	// session of this model (nil when disabled). Overlapping frontiers —
 	// concurrent queries over a common prefix — reuse one decode state.
 	kv *kvcache.Arena
+	// batcher is the continuous cross-query fusion scheduler attached to the
+	// device when ModelOptions.ContinuousBatching is set (DESIGN.md decision
+	// 12); nil when dispatch is direct. Shared by every session.
+	batcher *device.Batcher
 }
 
 // ModelOptions configures device simulation, caching, and scoring
@@ -243,6 +248,17 @@ type ModelOptions struct {
 	// States are recomputable, so the budget trades memory for Prefill
 	// fallbacks, never correctness.
 	KVBudgetBytes int64
+	// ContinuousBatching attaches a fusion scheduler to the device
+	// (DESIGN.md decision 12): scoring calls from all sessions are packed
+	// into shared forwards up to MaxBatch, with fair-share accounting per
+	// session and deadline-aware priority (Session.SetQoS). Result streams
+	// are byte-identical to direct dispatch. Call Model.Close to drain the
+	// scheduler when done.
+	ContinuousBatching bool
+	// FusionWindow is the batcher's admission window (0: 200µs): how long
+	// the scheduler holds a partial batch hoping more queries contribute
+	// rows. Only meaningful with ContinuousBatching.
+	FusionWindow time.Duration
 }
 
 // NewModel wraps a language model and tokenizer for querying.
@@ -277,13 +293,44 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 	if opts.KVBudgetBytes >= 0 {
 		kv = kvcache.New(opts.KVBudgetBytes)
 	}
+	var batcher *device.Batcher
+	if opts.ContinuousBatching {
+		batcher = device.StartBatcher(dev, device.BatcherConfig{Window: opts.FusionWindow})
+	}
 	return &Model{
-		LM:    lm,
-		Tok:   tok,
-		Dev:   dev,
-		cache: shared,
-		plans: plans,
-		kv:    kv,
+		LM:      lm,
+		Tok:     tok,
+		Dev:     dev,
+		cache:   shared,
+		plans:   plans,
+		kv:      kv,
+		batcher: batcher,
+	}
+}
+
+// Fused reports whether continuous cross-query batching is active on this
+// model's device.
+func (m *Model) Fused() bool { return m.batcher != nil }
+
+// BatcherStats snapshots the fusion-scheduler counters (DESIGN.md decision
+// 12). Zero-valued when ContinuousBatching is off.
+type BatcherStats = device.BatcherStats
+
+// BatcherStats reports the fusion-scheduler counters.
+func (m *Model) BatcherStats() BatcherStats {
+	if m.batcher == nil {
+		return BatcherStats{}
+	}
+	return m.batcher.Stats()
+}
+
+// Close drains and stops the model's fusion scheduler, if one is attached.
+// In-flight queries complete (late scoring calls fall back to direct
+// dispatch); it is safe to call multiple times and on models without
+// fusion. A Model without ContinuousBatching needs no Close.
+func (m *Model) Close() {
+	if m.batcher != nil {
+		m.batcher.Close()
 	}
 }
 
@@ -385,23 +432,35 @@ type Session struct {
 }
 
 // NewSession derives a session from the model. Without a cache the session
-// is the model itself (attribution degenerates to zeros).
+// still gets its own Model view (so SetQoS never mutates the shared model),
+// but attribution degenerates to zeros.
 func (m *Model) NewSession() *Session {
 	if m.cache == nil {
-		return &Session{Model: m}
+		view := *m
+		return &Session{Model: &view}
 	}
 	scope := m.cache.NewScope()
 	return &Session{
 		Model: &Model{
-			LM:    m.LM,
-			Tok:   m.Tok,
-			Dev:   m.Dev.WithModel(scope),
-			cache: m.cache,
-			plans: m.plans, // sessions share the model's compiled plans
-			kv:    m.kv,    // ... and its prefix-state arena
+			LM:      m.LM,
+			Tok:     m.Tok,
+			Dev:     m.Dev.WithModel(scope),
+			cache:   m.cache,
+			plans:   m.plans,   // sessions share the model's compiled plans
+			kv:      m.kv,      // ... its prefix-state arena
+			batcher: m.batcher, // ... and its fusion scheduler
 		},
 		scope: scope,
 	}
+}
+
+// SetQoS names the query this session serves and sets its completion
+// deadline, for the fusion batcher's fair-share accounting and queue-jump
+// priority (DESIGN.md decision 12). A zero deadline means no deadline; an
+// empty query keeps per-session identity. Harmless without fusion. Call it
+// before the first Search on the session.
+func (s *Session) SetQoS(query string, deadline time.Time) {
+	s.Model.Dev = s.Model.Dev.WithQoS(device.QoS{Query: query, Deadline: deadline})
 }
 
 // CacheStats reports this session's share of shared-cache activity: hits

@@ -162,7 +162,7 @@ func saveTo(path string, save func(w io.Writer) error) error {
 		return err
 	}
 	if err := save(f); err != nil {
-		f.Close()
+		_ = f.Close() // the save error is what matters; the partial file is discarded
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,104 @@
+// Command relm-vet runs the project-invariant analyzer suite (DESIGN.md
+// decision 13) over the repository: determinism, streamclose, atomicstats,
+// locksafe, and ledgercheck. It is the multichecker CI runs as a required
+// step; any diagnostic fails the build.
+//
+// Usage:
+//
+//	relm-vet [flags] [packages]
+//
+//	relm-vet ./...                    # the CI invocation
+//	relm-vet -only determinism ./relm # one analyzer, one package
+//	relm-vet -list                    # describe the suite
+//	relm-vet -v ./...                 # also print //relm:allow-suppressed sites
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		verbose = flag.Bool("v", false, "also print directive-suppressed diagnostics")
+	)
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, s := range suite {
+			fmt.Printf("%-12s %s\n", s.Analyzer.Name, s.Analyzer.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []lint.ScopedAnalyzer
+		for _, s := range suite {
+			if keep[s.Analyzer.Name] {
+				filtered = append(filtered, s)
+				delete(keep, s.Analyzer.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(os.Stderr, "relm-vet: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relm-vet:", err)
+		os.Exit(2)
+	}
+
+	var reported, suppressed int
+	for _, pkg := range pkgs {
+		if lint.SkipPackage(pkg.PkgPath) {
+			continue
+		}
+		for _, s := range suite {
+			if !s.Applies(pkg.PkgPath) {
+				continue
+			}
+			res, err := lint.RunAnalyzer(s.Analyzer, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "relm-vet:", err)
+				os.Exit(2)
+			}
+			for _, d := range res.Diagnostics {
+				fmt.Printf("%s: %s (%s)\n", d.Position(pkg.Fset), d.Message, d.Analyzer)
+				reported++
+			}
+			suppressed += len(res.Suppressed)
+			if *verbose {
+				for _, d := range res.Suppressed {
+					fmt.Printf("%s: [allowed] %s (%s)\n", d.Position(pkg.Fset), d.Message, d.Analyzer)
+				}
+			}
+		}
+	}
+	if suppressed > 0 && *verbose {
+		fmt.Printf("relm-vet: %d diagnostic(s) suppressed by //relm:allow directives\n", suppressed)
+	}
+	if reported > 0 {
+		fmt.Fprintf(os.Stderr, "relm-vet: %d diagnostic(s)\n", reported)
+		os.Exit(1)
+	}
+}

@@ -131,6 +131,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "relm:", err)
 		os.Exit(1)
 	}
+	defer results.Close()
 	for i := 0; i < *n; i++ {
 		match, err := results.Next()
 		if err != nil {

@@ -42,6 +42,7 @@ func main() {
 			}
 			counts[gender][match.PatternText[1:]]++ // strip leading space
 		}
+		results.Close()
 	}
 
 	fmt.Printf("\n%-22s %8s %8s\n", "profession", "man", "woman")

@@ -57,6 +57,7 @@ func main() {
 	for i, mt := range results.Take(2) {
 		fmt.Printf("   %d. %s (logp %.2f)\n", i+1, mt.PatternText, mt.LogProb)
 	}
+	results.Close()
 
 	// (c) The structured query over ALL dates: 12 months x 110 day strings x
 	// 10^4 years = 13.2M candidates, held as a ~dozen-state automaton.
@@ -75,6 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer results.Close()
 	fmt.Println("\n(c) structured query over all 13.2M dates, top 5:")
 	for i, mt := range results.Take(5) {
 		marker := ""

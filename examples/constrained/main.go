@@ -44,6 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer results.Close()
 	fmt.Println("most likely keyword-constrained generations:")
 	matches := results.Take(5)
 	for i, match := range matches {

@@ -32,6 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer results.Close()
 
 	fmt.Println("\nextracted URL candidates (most likely first):")
 	validated := 0

@@ -33,6 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer results.Close()
 
 	fmt.Println("\ntop phone-number completions (most likely first):")
 	for i, match := range results.Take(5) {

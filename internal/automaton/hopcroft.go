@@ -91,7 +91,15 @@ func (d *DFA) MinimizeHopcroft() *DFA {
 		for _, s := range x {
 			touched[partition[s]] = true
 		}
+		// Split in sorted block order: block IDs become the minimized DFA's
+		// state numbers, which flow into the frozen CSR plan layout — map
+		// iteration order here would make plan bytes run-dependent.
+		ys := make([]int, 0, len(touched))
 		for y := range touched {
+			ys = append(ys, y)
+		}
+		sort.Ints(ys)
+		for _, y := range ys {
 			var inX, notX []StateID
 			for _, s := range blocks[y] {
 				if inBlock[s] {

@@ -263,9 +263,11 @@ func scoreSequences(dev *device.Device, seqs [][]model.Token) ([]float64, int64)
 	if len(rowCtxs) > 0 {
 		lps := dev.Forward(rowCtxs)
 		acc := make(map[int]float64, 4)
+		accIdx := make([]int, 0, 4)
 		for r, i := range rowIdx {
 			if _, ok := acc[i]; !ok {
 				acc[i] = 0
+				accIdx = append(accIdx, i)
 			}
 			if !math.IsInf(acc[i], -1) {
 				acc[i] += lps[r][seqs[i][rowPos[r]]]
@@ -274,8 +276,8 @@ func scoreSequences(dev *device.Device, seqs [][]model.Token) ([]float64, int64)
 				}
 			}
 		}
-		for i, total := range acc {
-			totals[i] = total
+		for _, i := range accIdx {
+			totals[i] = acc[i]
 		}
 	}
 	return totals, contexts

@@ -194,6 +194,7 @@ func runBiasVariant(env *Env, v BiasVariant, samplesPerGender int) (*BiasCell, e
 			cell.Counts[gender][prof]++
 			cell.Samples[gender]++
 		}
+		results.Close()
 	}
 
 	table := make([][]float64, len(corpus.Genders))

@@ -148,6 +148,7 @@ func topChoice(m *relm.Model, prefix, pattern string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	defer results.Close()
 	match, err := results.Next()
 	if err != nil {
 		return "", err

@@ -105,6 +105,7 @@ func RunMemorization(env *Env, cfg MemorizationConfig) (*MemorizationResult, err
 	if err != nil {
 		return nil, err
 	}
+	defer results.Close()
 	relmMethod := MemorizationMethod{Name: "ReLM"}
 	first := true
 	for i := 0; i < cfg.Attempts; i++ {

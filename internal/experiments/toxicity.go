@@ -155,6 +155,7 @@ func extractInsult(env *Env, match corpus.InsultMatch, allEnc, edits bool, nodeB
 	if err != nil {
 		return false
 	}
+	defer results.Close()
 	_, err = results.Next()
 	return err == nil
 }
@@ -245,6 +246,7 @@ func extractSentence(env *Env, sentence string, canonical, edits bool, cfg Toxic
 	if err != nil {
 		return 0
 	}
+	defer results.Close()
 	count := 0
 	for count < cfg.PerInputCap {
 		match, err := results.Next()

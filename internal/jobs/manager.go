@@ -350,7 +350,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		ItemsHash: itemsHash(items),
 		Shards:    len(j.shards),
 	}); err != nil {
-		ledger.Close()
+		_ = ledger.Close() // the Append error already aborts the submit
 		m.unadmit()
 		return nil, err
 	}
@@ -408,7 +408,7 @@ func (m *Manager) Resume(id string) (*Job, error) {
 	// fail closes the ledger and returns the queue reservation on every
 	// error path past this point.
 	fail := func(err error) (*Job, error) {
-		ledger.Close()
+		_ = ledger.Close() // resume already failed; the original error wins
 		release()
 		return nil, err
 	}
@@ -689,7 +689,12 @@ feed:
 			status, errMsg = StatusFailed, err.Error()
 		}
 	}
-	j.ledger.Close()
+	// A failed Close means buffered terminal records may never have reached
+	// the file: Verify would see a truncated chain. Don't report the run as
+	// completed when its ledger is not durable.
+	if err := j.ledger.Close(); err != nil && status == StatusCompleted {
+		status, errMsg = StatusFailed, fmt.Sprintf("ledger close: %v", err)
+	}
 	j.cancelCtx() // release the context's resources on every path
 
 	j.mu.Lock()
@@ -745,7 +750,7 @@ func (m *Manager) Cancel(id string) error {
 		j.errMsg = "cancelled while queued"
 		j.finished = time.Now()
 		_, _ = j.ledger.Append(kindCancel, cancelData{Reason: j.errMsg, ItemsDone: len(j.results)})
-		j.ledger.Close()
+		_ = j.ledger.Close() // job is cancelled either way; Verify tolerates a missing cancel record
 		j.mu.Unlock()
 		m.mu.Unlock()
 		close(j.done)

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicStats enforces the race-safe counter contract (DESIGN.md decisions 6
+// and 12): shared statistics — engine's traversal counters, the batcher and
+// jobs lifecycle counters — are read from arbitrary goroutines while work is
+// in flight, so their backing fields may only be touched through sync/atomic.
+// Two rules, both package-scoped:
+//
+//  1. Mixed access: if any struct field is passed by address to a sync/atomic
+//     function (atomic.AddInt64(&s.n, 1), atomic.LoadInt64(&s.n), ...)
+//     anywhere in the package, then every plain read or write of that same
+//     field elsewhere in the package is a data race waiting for a scheduler —
+//     exactly the regression class where someone adds `s.n++` next to an
+//     atomic counter. Every such plain access is reported.
+//  2. Typed atomics: a field of type sync/atomic.Int64 (Bool, Uint32,
+//     Pointer[T], ...) may only be used as a method receiver (s.n.Load(),
+//     s.n.Add(1)) or have its address taken; copying it out (x := s.n) or
+//     assigning over it (s.n = other) silently forks or tears the counter
+//     and is reported. (go vet's copylocks catches whole-struct copies; this
+//     rule catches the per-field forms.)
+var AtomicStats = &Analyzer{
+	Name: "atomicstats",
+	Doc: "shared stats counters may only be accessed via sync/atomic: no " +
+		"plain reads/writes of atomically-accessed fields, no copies of " +
+		"atomic-typed fields",
+	Run: runAtomicStats,
+}
+
+// atomicAddrFuncs are the sync/atomic package functions whose first argument
+// is the address of the shared word.
+var atomicAddrFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicStats(p *Pass) error {
+	// Pass 1: collect (a) the set of struct fields accessed via sync/atomic
+	// address functions and (b) the &field nodes that constitute those
+	// legitimate accesses.
+	atomicFields := map[types.Object]bool{}
+	sanctioned := map[ast.Node]bool{} // the *ast.SelectorExpr inside &sel passed to atomic
+	inspect(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(p, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" || !atomicAddrFuncs[f.Name()] {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fieldObj := selectedField(p, sel); fieldObj != nil {
+			atomicFields[fieldObj] = true
+			sanctioned[sel] = true
+		}
+		return true
+	})
+
+	// Pass 2: walk with parent context, flagging (1) plain accesses to
+	// atomicFields and (2) non-receiver uses of atomic-typed fields.
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fieldObj := selectedField(p, sel)
+			if fieldObj == nil {
+				return true
+			}
+			parent := parentOf(stack)
+			if atomicFields[fieldObj] && !sanctioned[sel] && !isAddrForAtomic(stack) {
+				p.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access is a data race — use atomic.%s-style accessors", fieldObj.Name(), suggestAtomic(fieldObj))
+				return true
+			}
+			if isAtomicType(fieldObj.Type()) && !isReceiverUse(parent, sel) {
+				p.Reportf(sel.Pos(), "atomic-typed field %s used as a plain value; atomics may only be touched via their methods (Load/Store/Add/CAS)", fieldObj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// selectedField resolves a selector to a struct field object, or nil.
+func selectedField(p *Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := p.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// parentOf returns the node enclosing the one on top of the stack.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// isAddrForAtomic reports whether the selector on top of the stack sits under
+// a &-operand that is an argument to a sync/atomic call further up. The
+// sanctioned-node map covers the common direct form; this covers parenthesized
+// nesting.
+func isAddrForAtomic(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0 && i >= len(stack)-5; i-- {
+		if u, ok := stack[i].(*ast.UnaryExpr); ok {
+			_ = u
+			return true // &s.f outside an atomic call is an escape the race detector owns
+		}
+	}
+	return false
+}
+
+// isReceiverUse reports whether sel (an atomic-typed field) is being used as
+// a method receiver (parent is a selector choosing a method) or having its
+// address taken (legal: passing *atomic.Int64 around).
+func isReceiverUse(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		return pn.X == sel // s.n.Load — sel is the receiver part
+	case *ast.UnaryExpr:
+		return true // &s.n
+	}
+	return false
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed wrappers.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// suggestAtomic names the accessor family matching the field's type.
+func suggestAtomic(fieldObj types.Object) string {
+	t := fieldObj.Type().String()
+	switch {
+	case strings.Contains(t, "int64"):
+		return "AddInt64/LoadInt64"
+	case strings.Contains(t, "int32"):
+		return "AddInt32/LoadInt32"
+	default:
+		return "Add/Load"
+	}
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the byte-identical-stream contract (DESIGN.md
+// decisions 6, 9, 10, 12): result content and order must be a pure function
+// of (model, plan, knobs, seed). In the packages it scopes to — the engine,
+// the automaton layer, and relm — it flags the three classic sources of
+// run-to-run drift:
+//
+//   - `range` over a map: iteration order is randomized per run, so any map
+//     range in a result-affecting path can reorder emitted tuples, renumber
+//     automaton states, or flip equal-cost tie-breaks. Ranges that only
+//     collect keys/values into a slice that is subsequently passed to the
+//     sort package in the same function are recognized as the deterministic
+//     collect-then-sort idiom and not reported.
+//   - time.Now / time.Since / time.Until: wall-clock reads make output
+//     timing-dependent. Metrics-only uses are audited with //relm:allow.
+//   - math/rand package-level functions (rand.Intn, rand.Shuffle, ...):
+//     these draw from the shared global source, which cannot be seeded per
+//     query. Constructing a seeded source (rand.New, rand.NewSource) and
+//     calling methods on a *rand.Rand is the sanctioned pattern and is not
+//     flagged.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map ranges, wall-clock reads, and global math/rand use in " +
+		"result-order-affecting packages (engine, automaton, relm)",
+	Run: runDeterminism,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededConstructors are the math/rand entry points that build an explicitly
+// seeded generator rather than drawing from the global source.
+var seededConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(p *Pass) error {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(p, file, n)
+			case *ast.CallExpr:
+				checkNondetCall(p, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(p *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := p.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if isCollectThenSort(p, file, rs) {
+		return
+	}
+	p.Reportf(rs.For, "range over map %s has nondeterministic iteration order in a result-affecting package; iterate sorted keys, or audit with //relm:allow(determinism)", exprString(rs.X))
+}
+
+// isCollectThenSort recognizes the deterministic idiom
+//
+//	for k := range m { out = append(out, k) }
+//	sort.Ints(out)            // or sort.Strings / sort.Slice / slices.Sort...
+//
+// the body must be exactly one append into a slice variable, and that
+// variable must later (positionally) be passed to a sort/slices function
+// within the same file's enclosing function.
+func isCollectThenSort(p *Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	target := p.ObjectOf(lhs)
+	if target == nil {
+		return false
+	}
+	// Look for a later sort call over the same variable anywhere in the file.
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := calleeFunc(p, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if pkg := f.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.ObjectOf(id) == target {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func checkNondetCall(p *Pass, call *ast.CallExpr) {
+	f := calleeFunc(p, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[f.Name()] {
+			p.Reportf(call.Pos(), "time.%s reads the wall clock in a result-affecting package; results must not depend on timing, or audit with //relm:allow(determinism)", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[f.Name()] {
+			p.Reportf(call.Pos(), "rand.%s draws from the global math/rand source; use a per-query seeded *rand.Rand (rand.New(rand.NewSource(seed)))", f.Name())
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,290 @@
+// Package lint is relm-vet's analysis framework: a minimal, dependency-free
+// reimplementation of the golang.org/x/tools go/analysis surface (Analyzer,
+// Pass, Diagnostic) sized for this repository's needs. The build environment
+// is hermetic — no module downloads — so rather than depending on x/tools the
+// package keeps the same shape (an Analyzer is a named Run function over a
+// type-checked package; diagnostics carry positions; fixtures assert with
+// `// want` comments) and swaps in a loader built on `go list -export` plus
+// the standard library's go/parser, go/types, and go/importer. A later PR can
+// replace the plumbing with x/tools without touching the analyzers.
+//
+// The analyzers encode this repository's load-bearing contracts (DESIGN.md
+// decision 13): deterministic iteration in engine hot paths, Close-on-every-
+// path stream lifecycle, atomics-only counter access, no blocking calls under
+// scheduler mutexes, and error-checked ledger durability calls.
+//
+// # Allowlist directive
+//
+// A site the team has audited can carry a suppression directive:
+//
+//	//relm:allow(analyzer) justification for why this site is safe
+//
+// The directive suppresses diagnostics from the named analyzer(s) (comma-
+// separated) on its own line and on the line directly below, so it works both
+// as a trailing comment and as a standalone comment above the flagged
+// statement. A directive without a justification does not suppress anything —
+// it is itself reported — so every allowlisted site records its audit
+// rationale in the source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //relm:allow directives.
+	Name string
+	// Doc is the one-paragraph contract description shown by relm-vet -list.
+	Doc string
+	// Run inspects one type-checked package, reporting via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Position resolves the diagnostic's file position against fset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes (Uses then Defs), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// Result bundles an analyzer run's kept and directive-suppressed diagnostics.
+type Result struct {
+	Diagnostics []Diagnostic // violations after directive filtering
+	Suppressed  []Diagnostic // violations silenced by //relm:allow
+}
+
+// directiveRe matches the allow directive comment body. Group 1 is the
+// comma-separated analyzer list, group 2 the justification (possibly empty).
+var directiveRe = regexp.MustCompile(`^//relm:allow\(([a-zA-Z0-9_, ]+)\)\s*(.*)$`)
+
+// allowTable maps file -> line -> analyzer names allowed on that line.
+type allowTable map[string]map[int]map[string]bool
+
+// buildAllowTable scans the files' comments for //relm:allow directives. A
+// directive covers its own line and the next line. Directives missing a
+// justification are returned as diagnostics instead of taking effect.
+func buildAllowTable(fset *token.FileSet, files []*ast.File) (allowTable, []Diagnostic) {
+	tab := allowTable{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "relm:allow directive requires a justification: //relm:allow(" + m[1] + ") <why this site is safe>",
+						Analyzer: "directive",
+					})
+					continue
+				}
+				lines := tab[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					tab[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if lines[ln] == nil {
+							lines[ln] = map[string]bool{}
+						}
+						lines[ln][name] = true
+					}
+				}
+			}
+		}
+	}
+	return tab, bad
+}
+
+func (t allowTable) allows(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return t[pos.Filename][pos.Line][d.Analyzer]
+}
+
+// RunAnalyzer runs a on pkg and partitions the diagnostics by the package's
+// //relm:allow directives. Malformed directives (no justification) surface as
+// kept diagnostics so they cannot silently disable checking.
+func RunAnalyzer(a *Analyzer, pkg *Package) (Result, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return Result{}, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	allow, badDirectives := buildAllowTable(pkg.Fset, pkg.Files)
+	var res Result
+	for _, d := range pass.diags {
+		if allow.allows(pkg.Fset, d) {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	res.Diagnostics = append(res.Diagnostics, badDirectives...)
+	sortDiags(pkg.Fset, res.Diagnostics)
+	sortDiags(pkg.Fset, res.Suppressed)
+	return res, nil
+}
+
+func sortDiags(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// inspect walks every file in the pass.
+func inspect(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// funcBodies yields every function body in the pass exactly once: each
+// FuncDecl and each FuncLit that is not nested inside another yielded body is
+// visited at its outermost extent, so analyzers that scan "the whole
+// function" see closures as part of their enclosing declaration.
+func funcBodies(p *Pass, fn func(name string, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd.Name.Name, fd.Body)
+			}
+		}
+		// Function literals bound at package level (var handlers = func(){...}).
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if fl, ok := v.(*ast.FuncLit); ok {
+						fn("func literal", fl.Body)
+					}
+				}
+			}
+		}
+	}
+}
+
+// namedAs reports whether t (after stripping one pointer) is the named type
+// pkgPath.name.
+func namedAs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves a call expression to its *types.Func target (method or
+// function), or nil for builtins, conversions, and indirect calls.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.ObjectOf(fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.ObjectOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcFrom reports whether f is the function pkgPath.name (package-level,
+// not a method).
+func funcFrom(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// methodOn reports whether f is a method named name whose receiver (after
+// stripping one pointer) is the named type pkgPath.recvName.
+func methodOn(f *types.Func, pkgPath, recvName, name string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedAs(sig.Recv().Type(), pkgPath, recvName)
+}

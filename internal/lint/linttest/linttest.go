@@ -1,0 +1,137 @@
+// Package linttest is the fixture-driven test harness for the relm-vet
+// analyzers — the role golang.org/x/tools/go/analysis/analysistest plays for
+// go/analysis. A fixture is an ordinary compilable package under
+// internal/lint/testdata/src/<name>; expectations live in its comments:
+//
+//	s.n++ // want `plain access is a data race`
+//
+// asserts that the analyzer reports a diagnostic on that line whose message
+// matches the backquoted regexp (several backquoted regexps may follow one
+// want). `wantallow` asserts the diagnostic fires but is suppressed by a
+// //relm:allow directive — the fixture proof that suppression works. An
+// optional signed offset (`want:-1`) shifts the asserted line relative to the
+// comment, for sites like malformed directives where the flagged line cannot
+// carry a trailing comment of its own.
+//
+// Run fails the test for every expected-but-missing and every
+// reported-but-unexpected diagnostic, so fixtures pin both the positive and
+// the negative space of each analyzer.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// markerRe matches a want/wantallow expectation comment: the keyword, an
+// optional :±N line offset, then one or more backquoted regexps.
+var markerRe = regexp.MustCompile("//\\s*(want|wantallow)(:[+-][0-9]+)?((?:\\s+`[^`]*`)+)\\s*$")
+
+var chunkRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package testdata/src/<fixture> (relative to the
+// calling test's working directory), runs the analyzer on it, and checks the
+// reported and suppressed diagnostics against the fixture's expectation
+// comments.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	pkgs, err := lint.Load("testdata", "./src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s resolved to %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	res, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	wants, allows := collect(t, pkg)
+	match(t, pkg.Fset, "diagnostic", res.Diagnostics, wants)
+	match(t, pkg.Fset, "suppressed diagnostic", res.Suppressed, allows)
+}
+
+// collect parses every expectation comment in the fixture, keyed by
+// "file:line" of the code the expectation points at.
+func collect(t *testing.T, pkg *lint.Package) (wants, allows map[string][]*expectation) {
+	t.Helper()
+	wants = map[string][]*expectation{}
+	allows = map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := markerRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[2] != "" {
+					var off int
+					fmt.Sscanf(m[2], ":%d", &off)
+					line += off
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), line)
+				into := wants
+				if m[1] == "wantallow" {
+					into = allows
+				}
+				for _, chunk := range chunkRe.FindAllStringSubmatch(m[3], -1) {
+					re, err := regexp.Compile(chunk[1])
+					if err != nil {
+						t.Fatalf("%s: bad expectation regexp %q: %v", key, chunk[1], err)
+					}
+					into[key] = append(into[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants, allows
+}
+
+// match pairs diagnostics with expectations one-to-one: every diagnostic must
+// satisfy an expectation on its line, and every expectation must be
+// satisfied by a diagnostic.
+func match(t *testing.T, fset *token.FileSet, kind string, diags []lint.Diagnostic, wants map[string][]*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		pos := d.Position(fset)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		found := false
+		for _, e := range wants[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected %s: %s (%s)", key, kind, d.Message, d.Analyzer)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, e := range wants[k] {
+			if !e.matched {
+				t.Errorf("%s: expected %s matching %q, got none", k, kind, e.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StreamClose enforces the stream lifecycle contract (DESIGN.md decision 8):
+// every engine.Stream and *relm.Results acquired from a call must reach Close
+// on all paths or be explicitly ownership-transferred. An abandoned stream
+// keeps its derived cancellation context registered with its parent for the
+// parent's lifetime — the goroutine/context leak class PR 2 fixed by hand.
+//
+// The check is per-function and flow-insensitive: a stream-typed value
+// produced by a call must, somewhere in the same function (closures
+// included), either
+//
+//   - have Close called (or deferred) on it,
+//   - be returned to the caller,
+//   - be passed to another function or method,
+//   - be stored (assigned to a field, element, or another variable, placed
+//     in a composite literal, or sent on a channel),
+//
+// otherwise the acquisition is reported. Discarding a stream-typed result
+// outright (expression statement or blank identifier) is always reported.
+// Sites where ownership is subtler than the analyzer can see carry
+// //relm:allow(streamclose) with the audit rationale.
+var StreamClose = &Analyzer{
+	Name: "streamclose",
+	Doc: "every engine.Stream / relm.Results must reach Close on all paths " +
+		"or be explicitly ownership-transferred",
+	Run: runStreamClose,
+}
+
+// streamTypes lists the owned-lifecycle types: (package path, type name).
+var streamTypes = [][2]string{
+	{"repro/internal/engine", "Stream"},
+	{"repro/relm", "Results"},
+}
+
+func isStreamType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for _, st := range streamTypes {
+		if namedAs(t, st[0], st[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+func runStreamClose(p *Pass) error {
+	funcBodies(p, func(name string, body *ast.BlockStmt) {
+		checkStreamsInFunc(p, body)
+	})
+	return nil
+}
+
+type acquisition struct {
+	obj types.Object
+	pos ast.Node
+}
+
+func checkStreamsInFunc(p *Pass, body *ast.BlockStmt) {
+	var acquired []acquisition
+	released := map[types.Object]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					acquired = append(acquired, streamAssignees(p, n.Lhs, call)...)
+				}
+			}
+			// A tracked var as a direct RHS value is an alias or store.
+			for _, rhs := range n.Rhs {
+				markDirectStream(p, rhs, released)
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 {
+				if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok {
+					lhs := make([]ast.Expr, len(n.Names))
+					for i, id := range n.Names {
+						lhs[i] = id
+					}
+					acquired = append(acquired, streamAssignees(p, lhs, call)...)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				reportDiscardedStream(p, call)
+			}
+		case *ast.CallExpr:
+			// s.Close() — or s.Close passed as a value — releases s; any
+			// tracked var passed as an argument is ownership-transferred.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && isStreamType(p.TypeOf(sel.X)) {
+					if obj := p.ObjectOf(id); obj != nil {
+						released[obj] = true
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				markDirectStream(p, arg, released)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				markDirectStream(p, r, released)
+			}
+		case *ast.SendStmt:
+			markDirectStream(p, n.Value, released)
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				markDirectStream(p, e, released)
+			}
+		}
+		return true
+	})
+
+	reported := map[types.Object]bool{}
+	for _, a := range acquired {
+		if released[a.obj] || reported[a.obj] {
+			continue
+		}
+		reported[a.obj] = true
+		p.Reportf(a.pos.Pos(), "%s (%s) is never Closed, returned, or ownership-transferred in this function; streams must reach Close on every path", a.obj.Name(), typeShort(a.obj.Type()))
+	}
+}
+
+// streamAssignees maps call results to LHS identifiers, returning the tracked
+// acquisitions and reporting stream results assigned to the blank identifier.
+func streamAssignees(p *Pass, lhs []ast.Expr, call *ast.CallExpr) []acquisition {
+	var out []acquisition
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue // field/index target: stored, owner elsewhere
+		}
+		if !isStreamType(p.TypeOf(l)) {
+			// Blank identifiers have no type entry; recover it from the call.
+			if id.Name == "_" && callYieldsStreamAt(p, call, indexOf(lhs, l)) {
+				p.Reportf(l.Pos(), "stream-typed result of %s discarded with _; it must be closed even on abandonment", exprString(call.Fun))
+			}
+			continue
+		}
+		if id.Name == "_" {
+			p.Reportf(l.Pos(), "stream-typed result of %s discarded with _; it must be closed even on abandonment", exprString(call.Fun))
+			continue
+		}
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		out = append(out, acquisition{obj: obj, pos: id})
+	}
+	return out
+}
+
+func indexOf(lhs []ast.Expr, e ast.Expr) int {
+	for i, l := range lhs {
+		if l == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// callYieldsStreamAt reports whether result i of call has a tracked type.
+func callYieldsStreamAt(p *Pass, call *ast.CallExpr, i int) bool {
+	t := p.TypeOf(call)
+	if t == nil || i < 0 {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if i >= tup.Len() {
+			return false
+		}
+		return isStreamType(tup.At(i).Type())
+	}
+	return i == 0 && isStreamType(t)
+}
+
+// reportDiscardedStream flags expression statements that drop a stream-typed
+// call result on the floor.
+func reportDiscardedStream(p *Pass, call *ast.CallExpr) {
+	t := p.TypeOf(call)
+	if t == nil {
+		return
+	}
+	hit := false
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isStreamType(tup.At(i).Type()) {
+				hit = true
+			}
+		}
+	} else if isStreamType(t) {
+		hit = true
+	}
+	if hit {
+		p.Reportf(call.Pos(), "call to %s discards its stream-typed result; the stream must be closed", exprString(call.Fun))
+	}
+}
+
+// markDirectStream records a tracked variable used as a direct value
+// (aliased, stored, returned, sent, or passed) as released. Only the direct
+// position counts: a mention as a method-call receiver (s.Next()) is a use,
+// not a transfer, and must not silence the leak report — nested expressions
+// are handled when the walk reaches their own nodes.
+func markDirectStream(p *Pass, e ast.Expr, released map[types.Object]bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if !isStreamType(p.TypeOf(id)) {
+		return
+	}
+	if obj := p.ObjectOf(id); obj != nil {
+		released[obj] = true
+	}
+}
+
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(pkg *types.Package) string { return pkg.Name() })
+}

@@ -1,0 +1,60 @@
+// Package atomicstats is the fixture for the atomicstats analyzer: mixed
+// plain/atomic access to counter fields and misuse of typed atomics.
+package atomicstats
+
+import "sync/atomic"
+
+type stats struct {
+	n     int64        // accessed via sync/atomic below: plain access is a race
+	plain int64        // never touched atomically: plain access is fine
+	typed atomic.Int64 // typed atomic: methods and address-taking only
+}
+
+// The sanctioned accesses that put n in the atomic set.
+func (s *stats) inc() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+// Positive: plain read of an atomically-accessed field.
+func (s *stats) racyRead() int64 {
+	return s.n // want `field n is accessed with sync/atomic elsewhere in this package`
+}
+
+// Positive: plain write — the classic `s.n++` regression.
+func (s *stats) racyWrite() {
+	s.n++ // want `field n is accessed with sync/atomic elsewhere in this package`
+}
+
+// Negative: a field nobody touches atomically.
+func (s *stats) plainRead() int64 {
+	return s.plain
+}
+
+// Negative: typed atomic used through its methods.
+func (s *stats) typedLoad() int64 {
+	s.typed.Add(1)
+	return s.typed.Load()
+}
+
+// Negative: taking the typed atomic's address to pass it around.
+func (s *stats) typedAddr() *atomic.Int64 {
+	return &s.typed
+}
+
+// Positive: copying a typed atomic forks the counter.
+func (s *stats) typedCopy() int64 {
+	v := s.typed // want `atomic-typed field typed used as a plain value`
+	return v.Load()
+}
+
+// Suppressed: audited init-time write before the value escapes.
+func newStats() *stats {
+	s := &stats{}
+	//relm:allow(atomicstats) constructor-time write; s has not escaped yet
+	s.n = 0 // wantallow `field n is accessed with sync/atomic elsewhere in this package`
+	return s
+}

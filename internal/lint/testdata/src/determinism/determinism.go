@@ -1,0 +1,68 @@
+// Package determinism is the fixture for the determinism analyzer: map
+// ranges, wall-clock reads, and global math/rand draws, plus the sanctioned
+// counterparts of each.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Positive: plain map range in a result-affecting function.
+func mapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+// Negative: the collect-then-sort idiom is deterministic and recognized.
+func collectThenSort(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Negative: slice ranges are ordered.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Positive: wall-clock read.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// Suppressed: an audited, metrics-only wall-clock read.
+func auditedClock() time.Duration {
+	//relm:allow(determinism) metrics-only latency measurement, never in result bytes
+	return time.Since(time.Time{}) // wantallow `time.Since reads the wall clock`
+}
+
+// Positive: a directive with no justification is itself reported and
+// suppresses nothing.
+func badDirective() time.Time {
+	//relm:allow(determinism)
+	// want:-1 `directive requires a justification`
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// Positive: global math/rand source.
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global math/rand source`
+}
+
+// Negative: constructing and using a per-query seeded generator.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

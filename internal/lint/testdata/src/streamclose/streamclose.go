@@ -1,0 +1,103 @@
+// Package streamclose is the fixture for the streamclose analyzer: streams
+// that leak, streams that are discarded outright, and every sanctioned way of
+// releasing or transferring ownership.
+package streamclose
+
+import (
+	"repro/internal/engine"
+	"repro/relm"
+)
+
+func open() (*relm.Results, error) { return nil, nil }
+
+func openStream() engine.Stream { return nil }
+
+func use(*relm.Results) {}
+
+type holder struct {
+	r *relm.Results
+}
+
+// Positive: acquired, used, never closed.
+func leak() {
+	results, err := open() // want `results \(\*relm.Results\) is never Closed`
+	if err != nil {
+		return
+	}
+	_, _ = results.Next()
+}
+
+// Positive: engine.Stream leaks the same way.
+func leakStream() {
+	s := openStream() // want `s \(engine.Stream\) is never Closed`
+	_, _ = s.Next()
+}
+
+// Positive: discarding the stream result with the blank identifier.
+func discardBlank() {
+	_, _ = open() // want `stream-typed result of open discarded with _`
+}
+
+// Positive: dropping the result on the floor as a statement.
+func discardStmt() {
+	open() // want `call to open discards its stream-typed result`
+}
+
+// Negative: deferred Close.
+func closed() error {
+	results, err := open()
+	if err != nil {
+		return err
+	}
+	defer results.Close()
+	_, _ = results.Next()
+	return nil
+}
+
+// Negative: returning the stream transfers ownership to the caller.
+func handoffReturn() (*relm.Results, error) {
+	results, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Negative: passing the stream to another function transfers ownership.
+func handoffArg() error {
+	results, err := open()
+	if err != nil {
+		return err
+	}
+	use(results)
+	return nil
+}
+
+// Negative: storing the stream in a struct transfers ownership.
+func handoffStore() (*holder, error) {
+	results, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return &holder{r: results}, nil
+}
+
+// Negative: sending the stream on a channel transfers ownership.
+func handoffSend(ch chan *relm.Results) error {
+	results, err := open()
+	if err != nil {
+		return err
+	}
+	ch <- results
+	return nil
+}
+
+// Suppressed: an audited process-lifetime stream.
+func audited() {
+	//relm:allow(streamclose) process-lifetime probe stream, reclaimed at exit
+	results, err := open() // wantallow `results \(\*relm.Results\) is never Closed`
+	if err != nil {
+		return
+	}
+	_, _ = results.Next()
+}

@@ -371,6 +371,37 @@ func scoreFrontier(dev *device.Device, q *Query, ctxs [][]model.Token) [][]float
 		fwdCtxs = append(fwdCtxs, clampCtx(m, ctx))
 	}
 	if len(exts) > 0 {
+		// Demoted parents with no exact expansion (token-only compacts,
+		// DESIGN.md decision 14) promote first: one Prefill per unique parent
+		// context rebuilds bit-exact rows, and every child extension below
+		// then runs incrementally. Several children can share one demoted
+		// parent — dedupe so the node is recomputed once; Promote via any
+		// handle promotes the node for all of them.
+		var promo []int // representative ext index per unique demoted parent
+		var promoCtxs [][]model.Token
+		var seen map[string]bool
+		for j, e := range exts {
+			if !e.parent.NeedsRecompute() {
+				continue
+			}
+			ctx := ctxs[e.idx]
+			pk := model.Key(ctx[:len(ctx)-1])
+			if seen == nil {
+				seen = make(map[string]bool)
+			}
+			if seen[pk] {
+				continue
+			}
+			seen[pk] = true
+			promo = append(promo, j)
+			promoCtxs = append(promoCtxs, ctx[:len(ctx)-1])
+		}
+		if len(promo) > 0 {
+			pstates, _ := dev.Prefill(promoCtxs)
+			for jj, j := range promo {
+				exts[j].parent.Promote(pstates[jj])
+			}
+		}
 		states := make([]model.DecodeState, len(exts))
 		toks := make([]model.Token, len(exts))
 		for j, e := range exts {

@@ -324,6 +324,14 @@ func (s *samplerStream) scoreStep(ctx []model.Token, hp **kvcache.Handle) []floa
 		if own := s.q.KV.Acquire(ctx); own != nil {
 			prev.Release()
 			*hp = own
+			if own.NeedsRecompute() {
+				// Demoted to tokens only: one Prefill rebuilds bit-exact rows
+				// (it IS the reference path) and promotes the node, so the
+				// next step extends incrementally again.
+				states, rows := s.dev.Prefill([][]model.Token{ctx})
+				own.Promote(states[0])
+				return rows[0]
+			}
 			return s.dev.Forward([][]model.Token{ctx})[0]
 		}
 	}

@@ -192,6 +192,10 @@ func (e *Env) KVStats() relm.KVStats {
 		out.ResidentBytes += s.ResidentBytes
 		out.Budget += s.Budget
 		out.Nodes += s.Nodes
+		out.CompressedNodes += s.CompressedNodes
+		out.CompressedBytes += s.CompressedBytes
+		out.Demotions += s.Demotions
+		out.Promotions += s.Promotions
 	}
 	return out
 }

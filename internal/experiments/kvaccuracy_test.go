@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunKVAccuracyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a transformer substrate")
+	}
+	env := sharedEnv(t)
+	res, err := RunKVAccuracy(env, KVAccuracyConfig{Items: 4, Epochs: 1, BudgetBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports = %d, want 3 (off/lossless/aggressive)", len(res.Reports))
+	}
+	off, lossless, aggressive := res.Reports[0], res.Reports[1], res.Reports[2]
+	// The lossless tier is byte-identity-safe: every metric must match the
+	// uncompressed reference exactly, not approximately.
+	if lossless.Found != off.Found || lossless.MeanLogProb != off.MeanLogProb || lossless.ChoiceAcc != off.ChoiceAcc {
+		t.Fatalf("lossless tier drifted from reference: off=%+v lossless=%+v", off, lossless)
+	}
+	// Every tier ran incremental queries against its own arena.
+	for _, rep := range res.Reports {
+		if rep.KV.Hits+rep.KV.Misses == 0 {
+			t.Errorf("tier %s recorded no arena activity", rep.Tier)
+		}
+	}
+	// The compressing tiers must actually demote under the tight budget —
+	// otherwise the harness is not measuring compression at all.
+	if lossless.KV.Demotions == 0 {
+		t.Error("lossless tier never demoted under the tight budget")
+	}
+	if aggressive.KV.Demotions == 0 {
+		t.Error("aggressive tier never demoted under the tight budget")
+	}
+	if off.KV.Demotions != 0 || off.KV.CompressedNodes != 0 {
+		t.Errorf("uncompressed tier reports compression activity: %+v", off.KV)
+	}
+	var buf bytes.Buffer
+	RenderKVAccuracy(&buf, res)
+	for _, want := range []string{"off", "lossless", "aggressive", "Δfound"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package kvcache
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions skip under it (sync.Pool sheds items at random there).
+const raceEnabled = true

@@ -5,49 +5,62 @@ import (
 	"go/types"
 )
 
-// StreamClose enforces the stream lifecycle contract (DESIGN.md decision 8):
-// every engine.Stream and *relm.Results acquired from a call must reach Close
-// on all paths or be explicitly ownership-transferred. An abandoned stream
-// keeps its derived cancellation context registered with its parent for the
-// parent's lifetime — the goroutine/context leak class PR 2 fixed by hand.
+// StreamClose enforces the owned-value lifecycle contracts: every
+// engine.Stream and *relm.Results acquired from a call must reach Close on
+// all paths (DESIGN.md decision 8 — an abandoned stream keeps its derived
+// cancellation context registered with its parent for the parent's lifetime,
+// the goroutine/context leak class PR 2 fixed by hand), and every
+// *kvcache.Handle must reach Release the same way (decision 14 — a leaked
+// handle pins its arena node forever, excluding it from demotion and
+// eviction, so the byte budget silently shrinks).
 //
-// The check is per-function and flow-insensitive: a stream-typed value
-// produced by a call must, somewhere in the same function (closures
-// included), either
+// The check is per-function and flow-insensitive: a tracked value produced
+// by a call must, somewhere in the same function (closures included), either
 //
-//   - have Close called (or deferred) on it,
+//   - have its release method (Close / Release) called or deferred on it,
 //   - be returned to the caller,
 //   - be passed to another function or method,
 //   - be stored (assigned to a field, element, or another variable, placed
 //     in a composite literal, or sent on a channel),
 //
-// otherwise the acquisition is reported. Discarding a stream-typed result
+// otherwise the acquisition is reported. Discarding a tracked result
 // outright (expression statement or blank identifier) is always reported.
 // Sites where ownership is subtler than the analyzer can see carry
 // //relm:allow(streamclose) with the audit rationale.
 var StreamClose = &Analyzer{
 	Name: "streamclose",
-	Doc: "every engine.Stream / relm.Results must reach Close on all paths " +
-		"or be explicitly ownership-transferred",
+	Doc: "every engine.Stream / relm.Results must reach Close, and every " +
+		"kvcache.Handle must reach Release, on all paths — or be explicitly " +
+		"ownership-transferred",
 	Run: runStreamClose,
 }
 
-// streamTypes lists the owned-lifecycle types: (package path, type name).
-var streamTypes = [][2]string{
-	{"repro/internal/engine", "Stream"},
-	{"repro/relm", "Results"},
+// streamTypes lists the owned-lifecycle types and each one's release method.
+var streamTypes = []struct {
+	pkg, name, release string
+}{
+	{"repro/internal/engine", "Stream", "Close"},
+	{"repro/relm", "Results", "Close"},
+	{"repro/internal/kvcache", "Handle", "Release"},
+}
+
+// releaseMethodOf returns the release-method name for a tracked type, or
+// ok=false when t is not tracked.
+func releaseMethodOf(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	for _, st := range streamTypes {
+		if namedAs(t, st.pkg, st.name) {
+			return st.release, true
+		}
+	}
+	return "", false
 }
 
 func isStreamType(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	for _, st := range streamTypes {
-		if namedAs(t, st[0], st[1]) {
-			return true
-		}
-	}
-	return false
+	_, ok := releaseMethodOf(t)
+	return ok
 }
 
 func runStreamClose(p *Pass) error {
@@ -58,8 +71,9 @@ func runStreamClose(p *Pass) error {
 }
 
 type acquisition struct {
-	obj types.Object
-	pos ast.Node
+	obj     types.Object
+	pos     ast.Node
+	release string
 }
 
 func checkStreamsInFunc(p *Pass, body *ast.BlockStmt) {
@@ -93,12 +107,15 @@ func checkStreamsInFunc(p *Pass, body *ast.BlockStmt) {
 				reportDiscardedStream(p, call)
 			}
 		case *ast.CallExpr:
-			// s.Close() — or s.Close passed as a value — releases s; any
-			// tracked var passed as an argument is ownership-transferred.
-			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
-				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && isStreamType(p.TypeOf(sel.X)) {
-					if obj := p.ObjectOf(id); obj != nil {
-						released[obj] = true
+			// s.Close() / h.Release() — or the method passed as a value —
+			// releases the receiver; any tracked var passed as an argument is
+			// ownership-transferred.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if rel, tracked := releaseMethodOf(p.TypeOf(sel.X)); tracked && sel.Sel.Name == rel {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if obj := p.ObjectOf(id); obj != nil {
+							released[obj] = true
+						}
 					}
 				}
 			}
@@ -128,7 +145,7 @@ func checkStreamsInFunc(p *Pass, body *ast.BlockStmt) {
 			continue
 		}
 		reported[a.obj] = true
-		p.Reportf(a.pos.Pos(), "%s (%s) is never Closed, returned, or ownership-transferred in this function; streams must reach Close on every path", a.obj.Name(), typeShort(a.obj.Type()))
+		p.Reportf(a.pos.Pos(), "%s (%s) is never %sd, returned, or ownership-transferred in this function; owned values must reach %s on every path", a.obj.Name(), typeShort(a.obj.Type()), a.release, a.release)
 	}
 }
 
@@ -141,22 +158,23 @@ func streamAssignees(p *Pass, lhs []ast.Expr, call *ast.CallExpr) []acquisition 
 		if !ok {
 			continue // field/index target: stored, owner elsewhere
 		}
-		if !isStreamType(p.TypeOf(l)) {
+		rel, tracked := releaseMethodOf(p.TypeOf(l))
+		if !tracked {
 			// Blank identifiers have no type entry; recover it from the call.
 			if id.Name == "_" && callYieldsStreamAt(p, call, indexOf(lhs, l)) {
-				p.Reportf(l.Pos(), "stream-typed result of %s discarded with _; it must be closed even on abandonment", exprString(call.Fun))
+				p.Reportf(l.Pos(), "owned result of %s discarded with _; it must be released even on abandonment", exprString(call.Fun))
 			}
 			continue
 		}
 		if id.Name == "_" {
-			p.Reportf(l.Pos(), "stream-typed result of %s discarded with _; it must be closed even on abandonment", exprString(call.Fun))
+			p.Reportf(l.Pos(), "owned result of %s discarded with _; it must be released even on abandonment", exprString(call.Fun))
 			continue
 		}
 		obj := p.ObjectOf(id)
 		if obj == nil {
 			continue
 		}
-		out = append(out, acquisition{obj: obj, pos: id})
+		out = append(out, acquisition{obj: obj, pos: id, release: rel})
 	}
 	return out
 }
@@ -203,7 +221,7 @@ func reportDiscardedStream(p *Pass, call *ast.CallExpr) {
 		hit = true
 	}
 	if hit {
-		p.Reportf(call.Pos(), "call to %s discards its stream-typed result; the stream must be closed", exprString(call.Fun))
+		p.Reportf(call.Pos(), "call to %s discards its owned result; the value must be released", exprString(call.Fun))
 	}
 }
 

@@ -1,10 +1,12 @@
 // Package streamclose is the fixture for the streamclose analyzer: streams
-// that leak, streams that are discarded outright, and every sanctioned way of
-// releasing or transferring ownership.
+// and arena handles that leak, owned results that are discarded outright,
+// and every sanctioned way of releasing or transferring ownership.
 package streamclose
 
 import (
 	"repro/internal/engine"
+	"repro/internal/kvcache"
+	"repro/internal/model"
 	"repro/relm"
 )
 
@@ -35,12 +37,12 @@ func leakStream() {
 
 // Positive: discarding the stream result with the blank identifier.
 func discardBlank() {
-	_, _ = open() // want `stream-typed result of open discarded with _`
+	_, _ = open() // want `owned result of open discarded with _`
 }
 
 // Positive: dropping the result on the floor as a statement.
 func discardStmt() {
-	open() // want `call to open discards its stream-typed result`
+	open() // want `call to open discards its owned result`
 }
 
 // Negative: deferred Close.
@@ -100,4 +102,63 @@ func audited() {
 		return
 	}
 	_, _ = results.Next()
+}
+
+// --- kvcache.Handle: Release is the release method, not Close. ---
+
+type pinned struct {
+	h *kvcache.Handle
+}
+
+// Positive: an acquired handle that never reaches Release pins its arena
+// node — and its bytes — forever.
+func leakHandle(a *kvcache.Arena, ctx []model.Token) {
+	h := a.Acquire(ctx) // want `h \(\*kvcache.Handle\) is never Released`
+	if h == nil {
+		return
+	}
+	_ = h.State()
+}
+
+// Positive: a committed state's handle leaks the same way.
+func leakCommit(a *kvcache.Arena, ctx []model.Token, st model.DecodeState) {
+	h := a.Commit(nil, ctx, st) // want `h \(\*kvcache.Handle\) is never Released`
+	_ = h.State()
+}
+
+// Positive: dropping the pinned handle on the floor.
+func discardHandle(a *kvcache.Arena, ctx []model.Token, st model.DecodeState) {
+	a.Commit(nil, ctx, st) // want `call to a.Commit discards its owned result`
+}
+
+// Negative: released (including the chained commit-and-release idiom).
+func releasedHandle(a *kvcache.Arena, ctx []model.Token, st model.DecodeState) {
+	h := a.Acquire(ctx)
+	defer h.Release()
+	a.Commit(h, ctx, st).Release()
+}
+
+// Negative: calling Close on a handle does NOT release it — only Release
+// counts for this type.
+func wrongMethod(a *kvcache.Arena, ctx []model.Token) {
+	type closer struct{ h *kvcache.Handle }
+	h := a.Acquire(ctx) // want `h \(\*kvcache.Handle\) is never Released`
+	if h == nil {
+		return
+	}
+	_ = closer{}
+	_ = h.State()
+}
+
+// Negative: storing the handle in a composite literal transfers ownership
+// (the engine's ext{parent: h} frontier bookkeeping).
+func handoffHandleStore(a *kvcache.Arena, ctx []model.Token) *pinned {
+	h := a.Acquire(ctx)
+	return &pinned{h: h}
+}
+
+// Negative: passing the handle transfers ownership.
+func handoffHandleArg(a *kvcache.Arena, ctx []model.Token, sink func(*kvcache.Handle)) {
+	h := a.Acquire(ctx)
+	sink(h)
 }

@@ -332,6 +332,12 @@ type ModelStats struct {
 	KVEvictions     int64 `json:"kv_evictions"`
 	KVResidentBytes int64 `json:"kv_resident_bytes"`
 	KVNodes         int   `json:"kv_nodes"`
+	// Tiered-compression counters (DESIGN.md decision 14): the demoted slice
+	// of the arena right now, and tier transitions over its lifetime.
+	KVCompressedNodes int   `json:"kv_compressed_nodes"`
+	KVCompressedBytes int64 `json:"kv_compressed_bytes"`
+	KVPromotions      int64 `json:"kv_promotions"`
+	KVDemotions       int64 `json:"kv_demotions"`
 	// Batcher is the continuous-batching section (DESIGN.md decision 12),
 	// present only when fusion is enabled on the model's device.
 	Batcher *BatcherBlock `json:"batcher,omitempty"`
@@ -435,6 +441,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ms.KVEvictions = ks.Evictions
 		ms.KVResidentBytes = ks.ResidentBytes
 		ms.KVNodes = ks.Nodes
+		ms.KVCompressedNodes = ks.CompressedNodes
+		ms.KVCompressedBytes = ks.CompressedBytes
+		ms.KVPromotions = ks.Promotions
+		ms.KVDemotions = ks.Demotions
 		if m.Fused() {
 			bs := m.BatcherStats()
 			ms.Batcher = &BatcherBlock{

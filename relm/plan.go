@@ -132,6 +132,12 @@ type Plan struct {
 	// DeviceWorkers is the device-side scoring pool width configured via
 	// ModelOptions.Parallelism.
 	DeviceWorkers int
+	// Incremental reports whether the query will run with KV prefix-state
+	// reuse (the query asked for it and the model's arena is enabled).
+	Incremental bool
+	// KVCompression echoes the model's arena tiering knob (DESIGN.md
+	// decision 14); only meaningful when Incremental is true.
+	KVCompression KVCompression
 	// PlanCacheHit reports whether this query's compilation was served from
 	// the model's plan cache (an identical plan was cached, or another
 	// in-flight query was compiling it). A hit means ~0 time was spent in
@@ -157,6 +163,9 @@ func (p *Plan) String() string {
 	fmt.Fprintf(&b, "  traversal:        %s\n", strategyName(p.Strategy))
 	fmt.Fprintf(&b, "  execution:        batch %d, %d expansion workers, %d device workers\n",
 		p.BatchSize, p.Parallelism, p.DeviceWorkers)
+	if p.Incremental {
+		fmt.Fprintf(&b, "  kv arena:         incremental, %s compression\n", p.KVCompression)
+	}
 	hitMark := "miss (compiled now)"
 	if p.PlanCacheHit {
 		hitMark = "hit (compilation skipped)"
@@ -232,6 +241,8 @@ func Explain(m *Model, q SearchQuery) (*Plan, error) {
 		BatchSize:         engine.EffectiveBatch(m.Dev, q.BatchExpand),
 		Parallelism:       engine.EffectiveParallelism(q.Parallelism),
 		DeviceWorkers:     m.Dev.Workers(),
+		Incremental:       q.Incremental && m.kv != nil,
+		KVCompression:     m.kvCompression,
 		PlanCacheHit:      hit,
 	}
 	p.PlanCache = m.PlanCacheStats()

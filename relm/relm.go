@@ -191,6 +191,70 @@ type SearchQuery struct {
 	DeferredFilters []func(text string) bool
 }
 
+// KVCompression selects the prefix-state arena's tiered-compression knob
+// (DESIGN.md decision 14). The zero value is KVCompressLossless: cold states
+// demote to byte-identity-safe compact forms (packed float32 when exact,
+// else token-only with recompute-on-promote), so result streams are
+// unchanged and the same byte budget holds several times more reusable
+// prefixes.
+type KVCompression int
+
+const (
+	// KVCompressLossless (the default) demotes cold arena states without
+	// changing any result byte: compact forms either re-expand bit-exactly
+	// or promote by recompute.
+	KVCompressLossless KVCompression = iota
+	// KVCompressOff disables demotion: full-precision states only, evicted
+	// under budget pressure (the pre-tiering behavior).
+	KVCompressOff
+	// KVCompressAggressive demotes to 2-byte half-precision rows that
+	// re-expand approximately. Maximum capacity; logits scored through
+	// promoted states may drift, so gate it with the §4 accuracy harness
+	// (experiments.RunKVAccuracy) before serving with it.
+	KVCompressAggressive
+)
+
+// String names the knob as the CLI spells it.
+func (c KVCompression) String() string {
+	switch c {
+	case KVCompressOff:
+		return "off"
+	case KVCompressLossless:
+		return "lossless"
+	case KVCompressAggressive:
+		return "aggressive"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(c))
+	}
+}
+
+// tier maps the public knob to the model-layer compression tier.
+func (c KVCompression) tier() model.CompressTier {
+	switch c {
+	case KVCompressOff:
+		return model.CompressNone
+	case KVCompressAggressive:
+		return model.CompressAggressive
+	default:
+		return model.CompressLossless
+	}
+}
+
+// ParseKVCompression parses a CLI spelling of the knob ("off", "lossless",
+// "aggressive").
+func ParseKVCompression(s string) (KVCompression, error) {
+	switch s {
+	case "off", "none":
+		return KVCompressOff, nil
+	case "lossless", "":
+		return KVCompressLossless, nil
+	case "aggressive", "f16":
+		return KVCompressAggressive, nil
+	default:
+		return 0, fmt.Errorf("relm: unknown kv compression %q (want off, lossless, or aggressive)", s)
+	}
+}
+
 // Model bundles a language model with its tokenizer and simulated device —
 // the objects the paper passes alongside the query (Figure 11's model and
 // tokenizer arguments).
@@ -212,6 +276,9 @@ type Model struct {
 	// session of this model (nil when disabled). Overlapping frontiers —
 	// concurrent queries over a common prefix — reuse one decode state.
 	kv *kvcache.Arena
+	// kvCompression echoes the arena's tiered-compression knob for plans
+	// and stats (meaningless when kv is nil).
+	kvCompression KVCompression
 	// batcher is the continuous cross-query fusion scheduler attached to the
 	// device when ModelOptions.ContinuousBatching is set (DESIGN.md decision
 	// 12); nil when dispatch is direct. Shared by every session.
@@ -248,6 +315,21 @@ type ModelOptions struct {
 	// States are recomputable, so the budget trades memory for Prefill
 	// fallbacks, never correctness.
 	KVBudgetBytes int64
+	// KVCompression selects the arena's tiered demotion (DESIGN.md decision
+	// 14). The zero value, KVCompressLossless, is on by default: cold states
+	// demote to byte-identity-safe compact forms instead of evicting, so the
+	// same budget holds several times more reusable prefixes and every
+	// result stream stays byte-identical. KVCompressOff restores the
+	// evict-only arena; KVCompressAggressive packs 2-byte rows (approximate,
+	// opt-in).
+	KVCompression KVCompression
+	// KVHotWindow bounds how many full-precision states the arena keeps hot
+	// before demoting the coldest to their compact tier, independent of byte
+	// pressure (0: the 256-node default; negative: demote only under byte
+	// pressure). Smaller windows spend the budget on breadth — many compact
+	// prefixes — rather than a few full-precision ones. Ignored when
+	// compression is off.
+	KVHotWindow int
 	// ContinuousBatching attaches a fusion scheduler to the device
 	// (DESIGN.md decision 12): scoring calls from all sessions are packed
 	// into shared forwards up to MaxBatch, with fair-share accounting per
@@ -291,22 +373,31 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 	}
 	var kv *kvcache.Arena
 	if opts.KVBudgetBytes >= 0 {
-		kv = kvcache.New(opts.KVBudgetBytes)
+		kv = kvcache.NewTiered(kvcache.Config{
+			BudgetBytes: opts.KVBudgetBytes,
+			Compression: opts.KVCompression.tier(),
+			HotWindow:   opts.KVHotWindow,
+		})
 	}
 	var batcher *device.Batcher
 	if opts.ContinuousBatching {
 		batcher = device.StartBatcher(dev, device.BatcherConfig{Window: opts.FusionWindow})
 	}
 	return &Model{
-		LM:      lm,
-		Tok:     tok,
-		Dev:     dev,
-		cache:   shared,
-		plans:   plans,
-		kv:      kv,
-		batcher: batcher,
+		LM:            lm,
+		Tok:           tok,
+		Dev:           dev,
+		cache:         shared,
+		plans:         plans,
+		kv:            kv,
+		kvCompression: opts.KVCompression,
+		batcher:       batcher,
 	}
 }
+
+// KVCompressionMode reports the arena's tiered-compression knob; meaningful
+// only when the arena is enabled (KVBudgetBytes >= 0).
+func (m *Model) KVCompressionMode() KVCompression { return m.kvCompression }
 
 // Fused reports whether continuous cross-query batching is active on this
 // model's device.
@@ -442,13 +533,14 @@ func (m *Model) NewSession() *Session {
 	scope := m.cache.NewScope()
 	return &Session{
 		Model: &Model{
-			LM:      m.LM,
-			Tok:     m.Tok,
-			Dev:     m.Dev.WithModel(scope),
-			cache:   m.cache,
-			plans:   m.plans,   // sessions share the model's compiled plans
-			kv:      m.kv,      // ... its prefix-state arena
-			batcher: m.batcher, // ... and its fusion scheduler
+			LM:            m.LM,
+			Tok:           m.Tok,
+			Dev:           m.Dev.WithModel(scope),
+			cache:         m.cache,
+			plans:         m.plans, // sessions share the model's compiled plans
+			kv:            m.kv,    // ... its prefix-state arena
+			kvCompression: m.kvCompression,
+			batcher:       m.batcher, // ... and its fusion scheduler
 		},
 		scope: scope,
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/jobs"
 )
 
@@ -47,6 +48,32 @@ func (e *envFlags) build() (*experiments.Env, error) {
 	}), nil
 }
 
+// chaosFlags arm the process-wide fault injector for local runs — the CLI
+// face of the chaos-testing story. The same scenario string and seed replay
+// the same fault sequence, so a chaotic run is a reproducible run.
+type chaosFlags struct {
+	scenario string
+	seed     int64
+}
+
+func (c *chaosFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.scenario, "chaos", "", "fault-injection scenario, e.g. 'device.forward=p0.05,ledger.sync=n1' (empty = off)")
+	fs.Int64Var(&c.seed, "chaos-seed", 1, "seed for deterministic chaos decisions")
+}
+
+func (c *chaosFlags) arm() error {
+	if c.scenario == "" {
+		return nil
+	}
+	in, err := fault.ParseScenario(c.scenario, c.seed)
+	if err != nil {
+		return err
+	}
+	fault.Enable(in)
+	fmt.Fprintf(os.Stderr, "chaos armed: %s (seed %d)\n", c.scenario, c.seed)
+	return nil
+}
+
 // newLocalManager builds a jobs manager over the env's two models.
 func newLocalManager(dir string, env *experiments.Env) (*jobs.Manager, error) {
 	mgr, err := jobs.NewManager(jobs.Config{Dir: dir, Env: env})
@@ -78,6 +105,8 @@ func cmdSubmit(args []string) error {
 	specFlags(fs, &spec)
 	var ef envFlags
 	ef.register(fs)
+	var cf chaosFlags
+	cf.register(fs)
 	ledgerDir := fs.String("ledger", "", "run-ledger directory (local mode)")
 	server := fs.String("server", "", "relm-serve base URL (remote mode)")
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +116,13 @@ func cmdSubmit(args []string) error {
 		return fmt.Errorf("exactly one of -ledger (local) or -server (remote) is required")
 	}
 	if *server != "" {
+		if cf.scenario != "" {
+			return fmt.Errorf("-chaos is local-mode only (arm the server with relm-serve -chaos instead)")
+		}
 		return submitRemote(*server, spec)
+	}
+	if err := cf.arm(); err != nil {
+		return err
 	}
 
 	env, err := ef.build()
@@ -113,11 +148,16 @@ func cmdResume(args []string) error {
 	ledgerDir := fs.String("ledger", "", "run-ledger directory")
 	var ef envFlags
 	ef.register(fs)
+	var cf chaosFlags
+	cf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" || *ledgerDir == "" {
 		return fmt.Errorf("resume requires -id and -ledger")
+	}
+	if err := cf.arm(); err != nil {
+		return err
 	}
 	env, err := ef.build()
 	if err != nil {
@@ -171,10 +211,14 @@ func watchLocal(mgr *jobs.Manager, j *jobs.Job) error {
 }
 
 func printProgress(s jobs.Snapshot) {
-	fmt.Printf("[%s] %-9s items %d/%d  shards %d/%d  ok %d  model-calls %d  kv-hits %d  plan-hits %d\n",
+	fmt.Printf("[%s] %-9s items %d/%d  shards %d/%d  ok %d  model-calls %d  kv-hits %d  plan-hits %d",
 		s.ID, s.Status, s.Progress.ItemsDone, s.Progress.Items,
 		s.Progress.ShardsDone, s.Progress.Shards, s.Progress.OKItems,
 		s.Engine.ModelCalls, s.KVHits, s.PlanHits)
+	if s.Retries > 0 || s.Quarantined > 0 {
+		fmt.Printf("  retries %d  quarantined %d", s.Retries, s.Quarantined)
+	}
+	fmt.Println()
 }
 
 func cmdSuites() error {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,12 +40,53 @@ func decodeOrError(resp *http.Response, v interface{}) error {
 	return json.Unmarshal(body, v)
 }
 
+// retryWait picks how long to back off after a 429/503: the server's
+// Retry-After header when present, else the caller's fallback — either way
+// capped at 5s so a misconfigured server can't stall the CLI for minutes.
+func retryWait(resp *http.Response, fallback time.Duration) time.Duration {
+	wait := fallback
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait > 5*time.Second {
+		wait = 5 * time.Second
+	}
+	return wait
+}
+
+// doWithRetry issues the request up to 5 times, backing off on 429 (the
+// admission limits) and 503 (drain or injected outage) per Retry-After. Any
+// other response — success or failure — returns immediately with its body
+// unread; the last rejection is returned for the caller to report.
+func doWithRetry(do func() (*http.Response, error)) (*http.Response, error) {
+	fallback := 500 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := do()
+		if err != nil {
+			return nil, err
+		}
+		if (resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable) || attempt == 5 {
+			return resp, nil
+		}
+		wait := retryWait(resp, fallback)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "server rejected (%s); retrying in %v\n", resp.Status, wait)
+		time.Sleep(wait)
+		fallback *= 2
+	}
+}
+
 func submitRemote(server string, spec jobs.Spec) error {
 	payload, err := json.Marshal(spec)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(apiURL(server, "/v1/jobs"), "application/json", bytes.NewReader(payload))
+	resp, err := doWithRetry(func() (*http.Response, error) {
+		return http.Post(apiURL(server, "/v1/jobs"), "application/json", bytes.NewReader(payload))
+	})
 	if err != nil {
 		return err
 	}
@@ -72,6 +115,15 @@ func cmdWatch(args []string) error {
 		resp, err := http.Get(apiURL(*server, "/v1/jobs/"+*id))
 		if err != nil {
 			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			// Overloaded or draining: a watcher's job is to outwait it, not
+			// to give up.
+			wait := retryWait(resp, *interval)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			time.Sleep(wait)
+			continue
 		}
 		var snap jobs.Snapshot
 		if err := decodeOrError(resp, &snap); err != nil {

@@ -30,15 +30,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/server"
 	"repro/relm"
@@ -72,7 +75,19 @@ func main() {
 	jobsDir := flag.String("jobs-dir", "", "run-ledger directory; enables the /v1/jobs validation-job API")
 	jobsActive := flag.Int("jobs-active", 2, "validation jobs running concurrently")
 	jobsQueued := flag.Int("jobs-queued", 16, "validation-job queue depth before submissions get 429")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget after SIGTERM/SIGINT: finish in-flight streams, checkpoint jobs, close ledgers")
+	chaos := flag.String("chaos", "", "fault-injection scenario, e.g. 'device.forward=p0.05,ledger.sync=n1' (empty = off; see internal/fault)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for deterministic chaos decisions")
 	flag.Parse()
+
+	if *chaos != "" {
+		in, err := fault.ParseScenario(*chaos, *chaosSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fault.Enable(in)
+		fmt.Printf("chaos armed: %s (seed %d)\n", *chaos, *chaosSeed)
+	}
 
 	if err := engine.ValidateBatch(*batch); err != nil {
 		fatal(err)
@@ -147,11 +162,18 @@ func main() {
 		fmt.Printf("registered %s model %q from %s\n", arch, name, dir)
 	}
 
-	fmt.Printf("relm-serve listening on %s (max %d concurrent queries, pool width %d, fusion %v)\n",
-		*addr, *maxConcurrent, *par, *fusion)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
 	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("relm-serve listening on %s (max %d concurrent queries, pool width %d, fusion %v)\n",
+		*addr, *maxConcurrent, *par, *fusion)
+	if err := srv.Serve(ln, stop, *drainTimeout); err != nil {
+		fatal(err)
+	}
+	fmt.Println("relm-serve drained cleanly")
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 )
 
@@ -66,6 +67,18 @@ type Batcher struct {
 	peakQueueDepth  int
 	fairnessDeficit int64
 
+	// Circuit breaker (guarded by mu). Consecutive failed fused dispatches —
+	// a row panicking, or an injected batcher fault — trip the breaker; while
+	// open, enqueue refuses admission and callers fall back to the device's
+	// direct per-query dispatch path, which still computes byte-identical
+	// results. After the cooldown one probe request is admitted (half-open):
+	// success closes the breaker, failure re-trips it.
+	breakerFails int
+	breakerOpen  bool
+	breakerUntil time.Time
+	breakerTrips int64
+	breakerShed  int64
+
 	wake      chan struct{}
 	closeCh   chan struct{}
 	exited    chan struct{}
@@ -88,6 +101,13 @@ type BatcherConfig struct {
 	// bounding how far one query's large request can push others out of a
 	// single fused batch. Urgent picks ignore the quantum.
 	Quantum int
+	// BreakerThreshold is the number of consecutive failed fused dispatches
+	// that trips the circuit breaker (default 3). While open the batcher sheds
+	// admissions and queries run the direct dispatch path.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before admitting a
+	// half-open probe (default 250ms).
+	BreakerCooldown time.Duration
 }
 
 func (c *BatcherConfig) defaults() {
@@ -99,6 +119,12 @@ func (c *BatcherConfig) defaults() {
 	}
 	if c.Quantum <= 0 {
 		c.Quantum = 8
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
 	}
 }
 
@@ -128,6 +154,12 @@ type BatcherStats struct {
 	// that were still contending after the last selection — 0 means perfectly
 	// even service.
 	FairnessDeficit int64
+	// BreakerState is "closed" (fusing normally, including half-open probing)
+	// or "open" (shedding to the direct dispatch path). BreakerTrips counts
+	// closed→open transitions; BreakerShed counts requests refused while open.
+	BreakerState string
+	BreakerTrips int64
+	BreakerShed  int64
 }
 
 // queryQueue is one query's FIFO of pending requests plus its fair-share
@@ -250,6 +282,12 @@ func (b *Batcher) Stats() BatcherStats {
 		UrgentFlushes:     b.urgentFlushes,
 		DrainFlushes:      b.drainFlushes,
 		FairnessDeficit:   b.fairnessDeficit,
+		BreakerState:      "closed",
+		BreakerTrips:      b.breakerTrips,
+		BreakerShed:       b.breakerShed,
+	}
+	if b.breakerOpen {
+		s.BreakerState = "open"
 	}
 	if s.FusedBatches > 0 {
 		s.MeanOccupancy = float64(s.Rows) / float64(s.FusedBatches)
@@ -298,6 +336,16 @@ func (b *Batcher) enqueue(r *request) bool {
 	defer b.mu.Unlock()
 	if b.closed {
 		return false
+	}
+	if b.breakerOpen {
+		if time.Now().Before(b.breakerUntil) {
+			b.breakerShed++
+			return false
+		}
+		// Cooldown elapsed: admit this request as the half-open probe. One
+		// more failed dispatch re-trips immediately; a success resets.
+		b.breakerOpen = false
+		b.breakerFails = b.cfg.BreakerThreshold - 1
 	}
 	q := b.queues[r.key]
 	if q == nil {
@@ -528,6 +576,18 @@ func (b *Batcher) pickLocked(now time.Time) (*queryQueue, bool) {
 // segment are captured per request and re-raised in the submitting
 // goroutine, never in the scheduler or a pool worker.
 func (b *Batcher) execute(fb *fusedBatch) {
+	if f := fault.Hit(fault.BatcherExecute); f != nil && f.Failure() {
+		// The fused dispatch itself fails: every participating request gets
+		// the fault as its panic value (re-raised in its submitting
+		// goroutine), nothing is charged or scored, and the breaker counts
+		// one failed dispatch.
+		for _, sg := range fb.segs {
+			sg.req.recordPanic(f)
+		}
+		b.finish(fb)
+		b.noteDispatch(true)
+		return
+	}
 	c := b.core
 	cost := c.latency.Cost(fb.rows, fb.tokens)
 	c.mu.Lock()
@@ -550,12 +610,46 @@ func (b *Batcher) execute(fb *fusedBatch) {
 		runShards(shards, pool)
 	}
 
+	failed := false
+	for _, sg := range fb.segs {
+		sg.req.panicMu.Lock()
+		if sg.req.panicked {
+			failed = true
+		}
+		sg.req.panicMu.Unlock()
+	}
+	b.finish(fb)
+	b.noteDispatch(failed)
+}
+
+// finish completes requests whose last rows just executed (or were abandoned
+// by a failed dispatch), waking their submitting goroutines.
+func (b *Batcher) finish(fb *fusedBatch) {
 	for _, sg := range fb.segs {
 		r := sg.req
 		r.remaining -= sg.hi - sg.lo
 		if r.remaining == 0 {
 			close(r.done)
 		}
+	}
+}
+
+// noteDispatch feeds the circuit breaker one fused-dispatch outcome:
+// consecutive failures trip it open for the cooldown, any success closes it
+// and clears the streak.
+func (b *Batcher) noteDispatch(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !failed {
+		b.breakerFails = 0
+		b.breakerOpen = false
+		return
+	}
+	b.breakerFails++
+	if !b.breakerOpen && b.breakerFails >= b.cfg.BreakerThreshold {
+		b.breakerOpen = true
+		b.breakerUntil = time.Now().Add(b.cfg.BreakerCooldown)
+		b.breakerTrips++
 	}
 }
 

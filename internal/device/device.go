@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 )
 
@@ -165,6 +166,7 @@ func (d *Device) MaxBatch() int { return d.c.maxBatch }
 // additionally sharded across the worker pool. Forward is safe for
 // concurrent use, including across views.
 func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
+	d.inject(fault.DeviceForward)
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{kind: reqForward, ctxs: ctxs, rows: make([][]float64, len(ctxs))}
 		if b.submit(d, r) {
@@ -176,6 +178,25 @@ func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 		copy(out[lo:hi], d.lm.ScoreBatch(ctxs[lo:hi]))
 	})
 	return out
+}
+
+// inject consults the fault registry at a dispatch entry point. Latency
+// spikes stall the virtual clock; failures panic in the submitting goroutine
+// with the *fault.Fault — the device API has no error returns, and the
+// existing containment chain (segment recover, Pool re-panic, per-item
+// recover in the jobs worker, the search handler's recover) carries the
+// panic to the layer that owns the failing query.
+func (d *Device) inject(point string) {
+	f := fault.Hit(point)
+	if f == nil {
+		return
+	}
+	if f.Latency > 0 {
+		d.Idle(f.Latency)
+	}
+	if f.Failure() {
+		panic(f)
+	}
 }
 
 // runShards executes the shards on the persistent pool when one is attached,

@@ -1,6 +1,9 @@
 package device
 
-import "repro/internal/model"
+import (
+	"repro/internal/fault"
+	"repro/internal/model"
+)
 
 // Incremental dispatch (DESIGN.md decision 10). These entry points mirror
 // Forward — chunking by MaxBatch, charging the latency model, sharding each
@@ -14,6 +17,7 @@ import "repro/internal/model"
 // dispatch. Cost: one batch at the full token count (identical to Forward on
 // the same contexts).
 func (d *Device) Prefill(ctxs [][]model.Token) ([]model.DecodeState, [][]float64) {
+	d.inject(fault.DevicePrefill)
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{
 			kind:      reqPrefill,
@@ -38,6 +42,7 @@ func (d *Device) Prefill(ctxs [][]model.Token) ([]model.DecodeState, [][]float64
 // ExtendBatch advances each state by one token in one dispatch. Cost: one
 // token per sequence — the incremental saving, on the virtual clock.
 func (d *Device) ExtendBatch(states []model.DecodeState, tokens []model.Token) ([]model.DecodeState, [][]float64) {
+	d.inject(fault.DeviceExtend)
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{
 			kind:      reqExtend,
@@ -65,6 +70,7 @@ func (d *Device) ExtendBatch(states []model.DecodeState, tokens []model.Token) (
 // sequence at its token count per entry — one causal pass, not len(seq)
 // row-expanded contexts.
 func (d *Device) ScoreAll(seqs [][]model.Token) [][][]float64 {
+	d.inject(fault.DeviceScoreAll)
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{kind: reqScoreAll, ctxs: seqs, allRows: make([][][]float64, len(seqs))}
 		if b.submit(d, r) {

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Transient errors retry until success; the error count and OnRetry
+// observations line up.
+func TestRetryTransientUntilSuccess(t *testing.T) {
+	fails := 2
+	calls := 0
+	var seen []int
+	b := Backoff{Base: time.Microsecond, Attempts: 5, OnRetry: func(a int, err error) {
+		if !IsTransient(err) {
+			t.Errorf("OnRetry saw non-transient %v", err)
+		}
+		seen = append(seen, a)
+	}}
+	err := b.Retry(context.Background(), func() error {
+		calls++
+		if calls <= fails {
+			return MarkTransient(errors.New("blip"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 || len(seen) != 2 {
+		t.Fatalf("calls=%d retries=%v, want 3 calls / 2 retries", calls, seen)
+	}
+}
+
+// Permanent and unclassified errors do not consume retry budget.
+func TestRetryStopsOnNonTransient(t *testing.T) {
+	for _, mk := range []func() error{
+		func() error { return MarkPermanent(errors.New("corrupt")) },
+		func() error { return errors.New("unclassified") },
+	} {
+		calls := 0
+		err := Backoff{Base: time.Microsecond, Attempts: 5}.Retry(context.Background(), func() error {
+			calls++
+			return mk()
+		})
+		if err == nil || calls != 1 {
+			t.Fatalf("calls=%d err=%v, want 1 call and the error back", calls, err)
+		}
+		if IsTransient(err) {
+			t.Fatalf("returned error %v must not be transient", err)
+		}
+	}
+}
+
+// An exhausted budget wraps the last error in ErrExhausted, which is itself
+// not transient — outer retry layers must not double-spend.
+func TestRetryExhaustion(t *testing.T) {
+	calls := 0
+	err := Backoff{Base: time.Microsecond, Attempts: 3}.Retry(context.Background(), func() error {
+		calls++
+		return MarkTransient(errors.New("always"))
+	})
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err=%v, want ErrExhausted", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("exhausted error must not be transient")
+	}
+}
+
+// Cancellation interrupts the backoff wait, not just the next attempt.
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Backoff{Base: 10 * time.Second, Max: 10 * time.Second, Attempts: 3}.Retry(ctx, func() error {
+		calls++
+		return MarkTransient(errors.New("blip"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v: the backoff wait ignored ctx", elapsed)
+	}
+}
+
+// Delays double to the cap and the jitter is deterministic per (seed,
+// attempt) and bounded to ±25%.
+func TestDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 4 * time.Millisecond, Max: 16 * time.Millisecond, Attempts: 8, Seed: 11}
+	for attempt := 0; attempt < 8; attempt++ {
+		nominal := 4 * time.Millisecond << attempt
+		if nominal > 16*time.Millisecond {
+			nominal = 16 * time.Millisecond
+		}
+		d := b.Delay(attempt)
+		if d != b.Delay(attempt) {
+			t.Fatalf("attempt %d: jitter is not deterministic", attempt)
+		}
+		lo := nominal - nominal/4
+		hi := nominal + nominal/4
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+	s1, s2 := Backoff{Seed: 1}, Backoff{Seed: 2}
+	if s1.Delay(0) == s2.Delay(0) && s1.Delay(1) == s2.Delay(1) && s1.Delay(2) == s2.Delay(2) {
+		t.Fatal("different seeds produced identical jitter on three attempts")
+	}
+}
+
+func TestSeedFrom(t *testing.T) {
+	if SeedFrom("job-0001", "3") == SeedFrom("job-0001", "4") {
+		t.Fatal("distinct identities collided")
+	}
+	if SeedFrom("a", "bc") == SeedFrom("ab", "c") {
+		t.Fatal("part boundaries are not separated")
+	}
+}

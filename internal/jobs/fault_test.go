@@ -1,0 +1,200 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// armDeviceFaults enables an injector failing the first call at every device
+// dispatch point. With Workers:1 the faults land deterministically on the
+// earliest items; each point's counter is independent, so at most four
+// consecutive attempts fail — well inside the default 8-attempt item budget.
+func armDeviceFaults(t *testing.T, seed int64, class fault.Class) *fault.Injector {
+	t.Helper()
+	in := fault.New(seed).
+		Set(fault.DeviceForward, fault.Spec{FailN: 1, Class: class}).
+		Set(fault.DevicePrefill, fault.Spec{FailN: 1, Class: class}).
+		Set(fault.DeviceExtend, fault.Spec{FailN: 1, Class: class}).
+		Set(fault.DeviceScoreAll, fault.Spec{FailN: 1, Class: class})
+	fault.Enable(in)
+	t.Cleanup(fault.Disable)
+	return in
+}
+
+func deviceInjected(in *fault.Injector) int64 {
+	return in.Injected(fault.DeviceForward) + in.Injected(fault.DevicePrefill) +
+		in.Injected(fault.DeviceExtend) + in.Injected(fault.DeviceScoreAll)
+}
+
+// TestJobSurvivesTransientDeviceFaults is the PR's acceptance condition in
+// miniature: transient-only faults must never fail a job, and the retried
+// run's merged results must be byte-identical to an undisturbed run's.
+func TestJobSurvivesTransientDeviceFaults(t *testing.T) {
+	// memorization scores through the model (urlmatch never dispatches).
+	spec := Spec{Suite: "memorization", Model: "large", ShardSize: 2, Workers: 1}
+
+	// Undisturbed reference.
+	mRef := newTestManager(t, Config{})
+	ref, err := mRef.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, ref)
+	if ref.Status() != StatusCompleted {
+		t.Fatalf("reference run: %s", ref.Status())
+	}
+	want := mustJSON(t, ref.Results())
+
+	in := armDeviceFaults(t, 42, fault.Transient)
+	m := newTestManager(t, Config{})
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	fault.Disable()
+
+	if got := j.Status(); got != StatusCompleted {
+		t.Fatalf("job under transient faults: %s (%s), want completed", got, j.Snapshot().Error)
+	}
+	injected := deviceInjected(in)
+	if injected == 0 {
+		t.Fatal("scenario injected nothing; no armed device point was exercised")
+	}
+	snap := j.Snapshot()
+	// Every injected failure kills exactly one item attempt, and no item
+	// exhausts its budget, so the retry counter equals the injection count.
+	if snap.Retries != injected {
+		t.Fatalf("retries = %d, want %d (one per injected fault)", snap.Retries, injected)
+	}
+	if snap.Quarantined != 0 {
+		t.Fatalf("quarantined = %d, want 0 — transient faults must be retried, not quarantined", snap.Quarantined)
+	}
+	if got := mustJSON(t, j.Results()); got != want {
+		t.Fatalf("results under transient faults differ from undisturbed run:\n got: %s\nwant: %s", got, want)
+	}
+	if st := m.Stats(); st.Retries != snap.Retries || st.Quarantined != 0 {
+		t.Fatalf("manager stats retries=%d quarantined=%d, want %d/0", st.Retries, st.Quarantined, snap.Retries)
+	}
+	if _, err := VerifyFile(m.LedgerPath(j.ID)); err != nil {
+		t.Fatalf("ledger verify: %v", err)
+	}
+}
+
+// TestPermanentDeviceFaultQuarantinesItem: a permanent fault spends no retry
+// budget — the poisoned item is quarantined into the ledger and the rest of
+// the sweep completes.
+func TestPermanentDeviceFaultQuarantinesItem(t *testing.T) {
+	spec := Spec{Suite: "memorization", Model: "large", ShardSize: 2, Workers: 1}
+	in := armDeviceFaults(t, 7, fault.Permanent)
+	m := newTestManager(t, Config{})
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	fault.Disable()
+
+	if got := j.Status(); got != StatusCompleted {
+		t.Fatalf("job with poisoned items: %s (%s), want completed around them", got, j.Snapshot().Error)
+	}
+	if deviceInjected(in) == 0 {
+		t.Fatal("scenario injected nothing; no armed device point was exercised")
+	}
+	snap := j.Snapshot()
+	if snap.Quarantined == 0 {
+		t.Fatal("no item quarantined under permanent device faults")
+	}
+	if snap.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 — permanent faults must not spend retry budget", snap.Retries)
+	}
+	if got, wantN := len(j.Results()), len(j.items)-snap.Quarantined; got != wantN {
+		t.Fatalf("%d results for %d items with %d quarantined, want %d", got, len(j.items), snap.Quarantined, wantN)
+	}
+	if n := countKind(t, m.LedgerPath(j.ID), kindQuarantine); n != snap.Quarantined {
+		t.Fatalf("ledger holds %d quarantine records, want %d", n, snap.Quarantined)
+	}
+	if st := m.Stats(); st.Quarantined != int64(snap.Quarantined) {
+		t.Fatalf("manager quarantined = %d, want %d", st.Quarantined, snap.Quarantined)
+	}
+	if _, err := VerifyFile(m.LedgerPath(j.ID)); err != nil {
+		t.Fatalf("ledger verify: %v", err)
+	}
+}
+
+// TestLedgerInjectedTornAppendRepairedOnReopen drives the torn-tail repair
+// through the production append path: the injected fault writes half a
+// record before failing, exactly the crash signature OpenLedger truncates.
+func TestLedgerInjectedTornAppendRepairedOnReopen(t *testing.T) {
+	path := mkLedger(t, 4) // header + 4 items + complete = 6 records
+	l, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+
+	fault.Enable(fault.New(1).Set(fault.LedgerAppend, fault.Spec{FailN: 1, Torn: true}))
+	t.Cleanup(fault.Disable)
+	_, err = l.Append(kindResume, resumeData{Attempt: 1})
+	if err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// Torn writes are permanent by construction: a retry would append past
+	// the garbage half-line.
+	if !errors.Is(err, fault.ErrPermanent) || fault.IsTransient(err) {
+		t.Fatalf("torn append classified %v, want permanent", err)
+	}
+	fault.Disable()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict verification refuses the damaged file...
+	if _, err := VerifyFile(path); err == nil {
+		t.Fatal("VerifyFile accepted the torn tail")
+	}
+	// ...reopening repairs it, and the chain continues cleanly.
+	l2, recs2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen after torn append: %v", err)
+	}
+	if len(recs2) != 6 {
+		t.Fatalf("replayed %d records after repair, want 6", len(recs2))
+	}
+	if _, err := l2.Append(kindResume, resumeData{Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := VerifyFile(path); err != nil || n != 7 {
+		t.Fatalf("verify after repair: n=%d err=%v", n, err)
+	}
+}
+
+// TestTransientLedgerSyncRetried: a failing fsync is retried by the jobs
+// layer instead of failing the job (satellite 1).
+func TestTransientLedgerSyncRetried(t *testing.T) {
+	fault.Enable(fault.New(9).Set(fault.LedgerSync, fault.Spec{FailN: 1}))
+	t.Cleanup(fault.Disable)
+	m := newTestManager(t, Config{})
+	j, err := m.Submit(Spec{Suite: "urlmatch", Model: "large", ShardSize: 8, Workers: 1, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	fault.Disable()
+	if got := j.Status(); got != StatusCompleted {
+		t.Fatalf("job under fsync fault: %s (%s), want completed", got, j.Snapshot().Error)
+	}
+	if j.Snapshot().Retries == 0 {
+		t.Fatal("sync fault absorbed without a recorded retry")
+	}
+	if _, err := VerifyFile(m.LedgerPath(j.ID)); err != nil {
+		t.Fatalf("ledger verify: %v", err)
+	}
+}

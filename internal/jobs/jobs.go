@@ -180,6 +180,11 @@ type Snapshot struct {
 	PlanMisses  int64        `json:"plan_misses"`
 	LedgerBytes int64        `json:"ledger_bytes"`
 	DurationMS  int64        `json:"duration_ms"`
+	// Retries counts transient-fault retries this run spent (item re-runs
+	// and ledger re-appends); Quarantined counts poison items recorded and
+	// skipped instead of failing the job.
+	Retries     int64 `json:"retries"`
+	Quarantined int   `json:"quarantined"`
 }
 
 // ManagerStats is the /v1/stats jobs block: lifecycle counters plus total
@@ -194,4 +199,6 @@ type ManagerStats struct {
 	Resumed     int64 `json:"resumed"`
 	ItemsDone   int64 `json:"items_done"`
 	LedgerBytes int64 `json:"ledger_bytes"`
+	Retries     int64 `json:"retries"`
+	Quarantined int64 `json:"quarantined"`
 }

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // The run ledger is the durability and integrity layer of the jobs
@@ -26,6 +28,7 @@ import (
 //
 //	header      — job identity: spec, model fingerprint, item-list hash
 //	item        — one per-item result (the payload the sweep exists for)
+//	quarantine  — a poison item exhausted its retry budget; resume skips it
 //	shard_done  — a work unit completed; resume skips these shards
 //	checkpoint  — periodic fsync barrier with progress counters
 //	resume      — a crashed/cancelled run was reopened
@@ -48,6 +51,7 @@ const (
 	kindResume     = "resume"
 	kindCancel     = "cancel"
 	kindComplete   = "complete"
+	kindQuarantine = "quarantine"
 )
 
 // Record is one ledger line. Hash covers every other field, chained through
@@ -241,6 +245,22 @@ func (l *Ledger) Append(kind string, data interface{}) (Record, error) {
 		return Record{}, fmt.Errorf("ledger: marshal record: %w", err)
 	}
 	line = append(line, '\n')
+	if f := fault.Hit(fault.LedgerAppend); f != nil && f.Failure() {
+		if f.Torn {
+			// Simulate a crash mid-append: half the record reaches the file,
+			// the chain state does not advance. OpenLedger's torn-tail repair
+			// is what recovers from this.
+			_, _ = l.w.Write(line[:len(line)/2])
+			_ = l.w.Flush()
+			return Record{}, fmt.Errorf("ledger: append: %w", f)
+		}
+		// A clean transient failure fires before any byte is written, so the
+		// caller may safely retry: the chain has not moved.
+		return Record{}, fmt.Errorf("ledger: append: %w", f)
+	}
+	// Real write/flush errors stay unclassified (treated as permanent): a
+	// bufio failure cannot guarantee zero bytes reached the file, so a retry
+	// could append past garbage.
 	if _, err := l.w.Write(line); err != nil {
 		return Record{}, fmt.Errorf("ledger: append: %w", err)
 	}
@@ -258,10 +278,16 @@ func (l *Ledger) Append(kind string, data interface{}) (Record, error) {
 func (l *Ledger) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return err
+	if f := fault.Hit(fault.LedgerSync); f != nil && f.Failure() {
+		return fmt.Errorf("ledger: sync: %w", f)
 	}
-	return l.f.Sync()
+	if err := l.w.Flush(); err != nil {
+		return fault.MarkTransient(err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fault.MarkTransient(err)
+	}
+	return nil
 }
 
 // Bytes reports how many ledger bytes have been written (including replayed
@@ -272,6 +298,9 @@ func (l *Ledger) Bytes() int64 { return l.bytes.Load() }
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if f := fault.Hit(fault.LedgerClose); f != nil && f.Failure() {
+		return fmt.Errorf("ledger: close: %w", f)
+	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}

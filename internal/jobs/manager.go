@@ -11,12 +11,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/relm"
 )
 
@@ -45,6 +47,14 @@ type Config struct {
 	MaxQueued int
 	// MaxWorkers caps any job's worker-pool width (default NumCPU).
 	MaxWorkers int
+	// ItemAttempts is the per-item execution budget under transient faults,
+	// including the first attempt (default 8). An item that exhausts it — or
+	// hits a permanent fault — is quarantined into the ledger rather than
+	// failing the job. The default is sized for fault storms: at a 5%
+	// per-dispatch fault rate an item making tens of device calls fails some
+	// attempt fairly often, and a small budget would quarantine a visible
+	// fraction of a healthy sweep.
+	ItemAttempts int
 }
 
 func (c *Config) defaults() {
@@ -56,6 +66,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = runtime.NumCPU()
+	}
+	if c.ItemAttempts <= 0 {
+		c.ItemAttempts = 8
 	}
 }
 
@@ -76,12 +89,14 @@ type Manager struct {
 	nextID   int
 	nextSeq  int64 // queue tiebreaker across submissions
 
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	cancelled atomic.Int64
-	resumed   atomic.Int64
-	itemsDone atomic.Int64
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	cancelled   atomic.Int64
+	resumed     atomic.Int64
+	itemsDone   atomic.Int64
+	retries     atomic.Int64
+	quarantined atomic.Int64
 }
 
 // NewManager builds a manager, creating the ledger directory.
@@ -169,11 +184,16 @@ type Job struct {
 	errMsg     string
 	doneShards map[int]bool
 	results    map[int]ItemResult // item index -> result
-	okItems    int
-	engine     engine.Stats
-	resumes    int
-	started    time.Time
-	finished   time.Time
+	// quarantinedIdx marks poison items: their execution exhausted the
+	// transient retry budget or hit a permanent fault, so they are recorded
+	// in the ledger and skipped — kept out of results so the merged result
+	// set stays byte-deterministic — instead of failing the whole sweep.
+	quarantinedIdx map[int]bool
+	okItems        int
+	engine         engine.Stats
+	resumes        int
+	started        time.Time
+	finished       time.Time
 
 	kvStart   relm.KVStats
 	planStart relm.PlanCacheStats
@@ -190,6 +210,7 @@ type Job struct {
 	heapIdx  int
 
 	appendedThisRun atomic.Int64
+	retries         atomic.Int64 // transient-fault retries (items + ledger ops)
 }
 
 // ledger record payloads -------------------------------------------------
@@ -230,6 +251,13 @@ type resumeData struct {
 type cancelData struct {
 	Reason    string `json:"reason,omitempty"`
 	ItemsDone int    `json:"items_done"`
+}
+
+type quarantineData struct {
+	Shard    int    `json:"shard"`
+	Index    int    `json:"index"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
 }
 
 type completeData struct {
@@ -326,19 +354,20 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		return nil, err
 	}
 	j := &Job{
-		ID:         id,
-		Spec:       spec,
-		suite:      suite,
-		model:      model,
-		modelNm:    modelName,
-		ledger:     ledger,
-		items:      items,
-		shards:     shardIndices(len(items), spec.ShardSize),
-		status:     StatusQueued,
-		doneShards: map[int]bool{},
-		results:    map[int]ItemResult{},
-		done:       make(chan struct{}),
-		queueSeq:   seq,
+		ID:             id,
+		Spec:           spec,
+		suite:          suite,
+		model:          model,
+		modelNm:        modelName,
+		ledger:         ledger,
+		items:          items,
+		shards:         shardIndices(len(items), spec.ShardSize),
+		status:         StatusQueued,
+		doneShards:     map[int]bool{},
+		results:        map[int]ItemResult{},
+		quarantinedIdx: map[int]bool{},
+		done:           make(chan struct{}),
+		queueSeq:       seq,
 	}
 	if _, err := ledger.Append(kindHeader, headerData{
 		JobID:     id,
@@ -448,19 +477,20 @@ func (m *Manager) Resume(id string) (*Job, error) {
 	}
 
 	j := &Job{
-		ID:         id,
-		Spec:       spec,
-		suite:      suite,
-		model:      model,
-		modelNm:    modelName,
-		ledger:     ledger,
-		items:      items,
-		shards:     shardIndices(len(items), spec.ShardSize),
-		status:     StatusQueued,
-		doneShards: map[int]bool{},
-		results:    map[int]ItemResult{},
-		done:       make(chan struct{}),
-		resumes:    1,
+		ID:             id,
+		Spec:           spec,
+		suite:          suite,
+		model:          model,
+		modelNm:        modelName,
+		ledger:         ledger,
+		items:          items,
+		shards:         shardIndices(len(items), spec.ShardSize),
+		status:         StatusQueued,
+		doneShards:     map[int]bool{},
+		results:        map[int]ItemResult{},
+		quarantinedIdx: map[int]bool{},
+		done:           make(chan struct{}),
+		resumes:        1,
 	}
 	for _, rec := range recs[1:] {
 		switch rec.Kind {
@@ -481,6 +511,14 @@ func (m *Manager) Resume(id string) (*Job, error) {
 				return fail(err)
 			}
 			j.doneShards[d.Shard] = true
+		case kindQuarantine:
+			var d quarantineData
+			if err := decodeData(rec, &d); err != nil {
+				return fail(err)
+			}
+			// A past run already burned this item's budget; don't re-poison
+			// the resumed run with it.
+			j.quarantinedIdx[d.Index] = true
 		case kindResume:
 			j.resumes++
 		}
@@ -562,6 +600,21 @@ func (m *Manager) runJob(j *Job, ctx context.Context) {
 	var shardsThisRun atomic.Int64
 	var appendErr atomic.Value // error
 
+	// ledgerRetry runs a ledger operation under the transient-retry policy.
+	// It deliberately ignores the job context: a kill arriving between an
+	// item's computation and its append must not turn an already-paid result
+	// into a lost one — the append either lands or exhausts its budget.
+	ledgerRetry := func(op string, fn func() error) error {
+		return fault.Backoff{
+			Attempts: 5,
+			Seed:     fault.SeedFrom(j.ID, op),
+			OnRetry: func(int, error) {
+				j.retries.Add(1)
+				m.retries.Add(1)
+			},
+		}.Retry(context.Background(), fn)
+	}
+
 	recordItem := func(shard, index int, res ItemResult, st engine.Stats) bool {
 		j.mu.Lock()
 		if _, dup := j.results[index]; dup {
@@ -575,7 +628,10 @@ func (m *Manager) runJob(j *Job, ctx context.Context) {
 		}
 		j.engine.Add(st)
 		j.mu.Unlock()
-		if _, err := j.ledger.Append(kindItem, itemData{Shard: shard, Index: index, Result: res}); err != nil {
+		if err := ledgerRetry("item", func() error {
+			_, err := j.ledger.Append(kindItem, itemData{Shard: shard, Index: index, Result: res})
+			return err
+		}); err != nil {
 			appendErr.Store(err)
 			j.cancelCtx()
 			return false
@@ -584,6 +640,27 @@ func (m *Manager) runJob(j *Job, ctx context.Context) {
 		n := j.appendedThisRun.Add(1)
 		if j.Spec.CancelAfterItems > 0 && n >= int64(j.Spec.CancelAfterItems) {
 			j.cancelCtx()
+		}
+		return true
+	}
+
+	// quarantine records a poison item and skips it: the sweep keeps its
+	// other results instead of failing wholesale. Quarantined items stay out
+	// of j.results so Results() remains byte-deterministic.
+	quarantine := func(shard, index, attempts int, cause error) bool {
+		j.mu.Lock()
+		j.quarantinedIdx[index] = true
+		j.mu.Unlock()
+		m.quarantined.Add(1)
+		if err := ledgerRetry("quarantine", func() error {
+			_, err := j.ledger.Append(kindQuarantine, quarantineData{
+				Shard: shard, Index: index, Attempts: attempts, Error: cause.Error(),
+			})
+			return err
+		}); err != nil {
+			appendErr.Store(err)
+			j.cancelCtx()
+			return false
 		}
 		return true
 	}
@@ -598,6 +675,24 @@ func (m *Manager) runJob(j *Job, ctx context.Context) {
 			// queries as one principal, not Workers-many (DESIGN.md
 			// decision 12). Jobs are batch work: no deadline priority.
 			sess.SetQoS("job:"+j.ID, time.Time{})
+
+			// runItem contains one execution attempt. Injected device faults
+			// surface as *fault.Fault panics on the submitting goroutine;
+			// they become classified errors here — the retry layer's food —
+			// while any other panic keeps crashing loudly.
+			runItem := func(idx int) (res ItemResult, st engine.Stats, err error) {
+				defer func() {
+					if p := recover(); p != nil {
+						if f, ok := p.(*fault.Fault); ok {
+							err = f
+							return
+						}
+						panic(p)
+					}
+				}()
+				return j.suite.Run(ctx, sess.Model, j.items[idx])
+			}
+
 			for si := range shardCh {
 				if ctx.Err() != nil {
 					continue // drain
@@ -608,13 +703,47 @@ func (m *Manager) runJob(j *Job, ctx context.Context) {
 					}
 					j.mu.Lock()
 					_, have := j.results[idx]
+					quarantined := j.quarantinedIdx[idx]
 					j.mu.Unlock()
-					if have {
-						continue // recorded before a crash mid-shard
+					if have || quarantined {
+						continue // recorded (or poisoned) before a crash mid-shard
 					}
-					res, st, err := j.suite.Run(ctx, sess.Model, j.items[idx])
+					var res ItemResult
+					var st engine.Stats
+					attempts := 1
+					idx := idx
+					err := fault.Backoff{
+						Attempts: m.cfg.ItemAttempts,
+						Seed:     fault.SeedFrom(j.ID, strconv.Itoa(idx)),
+						OnRetry: func(int, error) {
+							attempts++
+							j.retries.Add(1)
+							m.retries.Add(1)
+						},
+					}.Retry(ctx, func() error {
+						r, s, e := runItem(idx)
+						if e != nil {
+							return e
+						}
+						res, st = r, s
+						return nil
+					})
 					if err != nil {
-						// Cancelled mid-item: discard, the resume re-runs it.
+						if ctx.Err() != nil {
+							// Cancelled mid-item: discard, the resume re-runs it.
+							continue
+						}
+						if errors.Is(err, fault.ErrExhausted) || errors.Is(err, fault.ErrPermanent) {
+							// Poison item: its budget is spent (or the fault
+							// can never heal). Record and move on.
+							if !quarantine(si, idx, attempts, err) {
+								return
+							}
+							continue
+						}
+						// Unclassified (a suite error without a live
+						// cancellation): discard, as before — the resume
+						// re-runs it.
 						continue
 					}
 					if !recordItem(si, idx, res, st) {
@@ -624,7 +753,10 @@ func (m *Manager) runJob(j *Job, ctx context.Context) {
 				if ctx.Err() != nil {
 					continue
 				}
-				if _, err := j.ledger.Append(kindShardDone, shardDoneData{Shard: si, Items: len(j.shards[si])}); err != nil {
+				if err := ledgerRetry("shard_done", func() error {
+					_, err := j.ledger.Append(kindShardDone, shardDoneData{Shard: si, Items: len(j.shards[si])})
+					return err
+				}); err != nil {
 					appendErr.Store(err)
 					j.cancelCtx()
 					return
@@ -634,15 +766,18 @@ func (m *Manager) runJob(j *Job, ctx context.Context) {
 				shardsDone, itemsDone := len(j.doneShards), len(j.results)
 				j.mu.Unlock()
 				if n := shardsThisRun.Add(1); n%int64(j.Spec.CheckpointEvery) == 0 {
-					if _, err := j.ledger.Append(kindCheckpoint, checkpointData{
-						ShardsDone: shardsDone,
-						ItemsDone:  itemsDone,
+					if err := ledgerRetry("checkpoint", func() error {
+						_, err := j.ledger.Append(kindCheckpoint, checkpointData{
+							ShardsDone: shardsDone,
+							ItemsDone:  itemsDone,
+						})
+						return err
 					}); err != nil {
 						appendErr.Store(err)
 						j.cancelCtx()
 						return
 					}
-					if err := j.ledger.Sync(); err != nil {
+					if err := ledgerRetry("sync", j.ledger.Sync); err != nil {
 						appendErr.Store(err)
 						j.cancelCtx()
 						return
@@ -681,11 +816,14 @@ feed:
 		_, _ = j.ledger.Append(kindCancel, cancelData{Reason: errMsg, ItemsDone: itemsDone})
 	} else {
 		status = StatusCompleted
-		if _, err := j.ledger.Append(kindComplete, completeData{
-			ItemsDone: itemsDone, OKItems: okItems, Engine: es,
+		if err := ledgerRetry("complete", func() error {
+			_, err := j.ledger.Append(kindComplete, completeData{
+				ItemsDone: itemsDone, OKItems: okItems, Engine: es,
+			})
+			return err
 		}); err != nil {
 			status, errMsg = StatusFailed, err.Error()
-		} else if err := j.ledger.Sync(); err != nil {
+		} else if err := ledgerRetry("final_sync", j.ledger.Sync); err != nil {
 			status, errMsg = StatusFailed, err.Error()
 		}
 	}
@@ -718,6 +856,36 @@ feed:
 	m.active--
 	m.dispatchLocked()
 	m.mu.Unlock()
+}
+
+// Drain checkpoints the subsystem for shutdown: dispatch pauses, every
+// queued and running job is cancelled (a cancel record is a checkpoint — the
+// job resumes from it later), and Drain waits for each to reach a terminal
+// status or for ctx to expire. Work already recorded in the ledgers is
+// preserved either way; an expired ctx only means some job goroutine was
+// still unwinding when the deadline hit.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.PauseDispatch()
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		switch j.Status() {
+		case StatusQueued, StatusRunning:
+			_ = m.Cancel(j.ID) // terminal races are fine: done closes either way
+		}
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return fmt.Errorf("jobs: drain: %w", ctx.Err())
+		}
+	}
+	return nil
 }
 
 // Cancel stops a running job (its context cancels between items) or
@@ -791,12 +959,14 @@ func (m *Manager) List() []Snapshot {
 // Stats aggregates the /v1/stats jobs block.
 func (m *Manager) Stats() ManagerStats {
 	st := ManagerStats{
-		Submitted: m.submitted.Load(),
-		Completed: m.completed.Load(),
-		Failed:    m.failed.Load(),
-		Cancelled: m.cancelled.Load(),
-		Resumed:   m.resumed.Load(),
-		ItemsDone: m.itemsDone.Load(),
+		Submitted:   m.submitted.Load(),
+		Completed:   m.completed.Load(),
+		Failed:      m.failed.Load(),
+		Cancelled:   m.cancelled.Load(),
+		Resumed:     m.resumed.Load(),
+		ItemsDone:   m.itemsDone.Load(),
+		Retries:     m.retries.Load(),
+		Quarantined: m.quarantined.Load(),
 	}
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
@@ -871,6 +1041,8 @@ func (j *Job) Snapshot() Snapshot {
 		},
 		Engine:      j.engine,
 		LedgerBytes: j.ledger.Bytes(),
+		Retries:     j.retries.Load(),
+		Quarantined: len(j.quarantinedIdx),
 	}
 	if !j.started.IsZero() {
 		end := j.finished

@@ -33,6 +33,7 @@ package kvcache
 import (
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 )
 
@@ -201,6 +202,15 @@ func (a *Arena) Compression() model.CompressTier {
 // uses the compact state as-is, which models score correctly (if slowly) by
 // recomputing internally.
 func (a *Arena) Acquire(ctx []model.Token) *Handle {
+	if f := fault.Hit(fault.KVPromote); f != nil && f.Failure() {
+		// A failed promote degrades to a miss: the caller Prefills from
+		// scratch, which computes bit-identical state — the arena is a pure
+		// cache, so losing a hit costs latency, never correctness.
+		a.mu.Lock()
+		a.misses++
+		a.mu.Unlock()
+		return nil
+	}
 	buf := keyPool.Get().(*[]byte)
 	*buf = model.AppendKey((*buf)[:0], ctx)
 	a.mu.Lock()

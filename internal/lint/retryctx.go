@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RetryCtx enforces the cancellation contract on retry and polling waits
+// (DESIGN.md decision 15): any loop that sleeps between attempts must be
+// interruptible by cancellation, because the jobs worker pool and the drain
+// sequence both rely on ctx.Done() propagating promptly — an uninterruptible
+// backoff turns a graceful drain into a timeout-forced hard close. The
+// sanctioned shape is fault.Backoff.Retry's: a timer select that also
+// receives from ctx.Done() (or an equivalent shutdown channel).
+//
+// The analysis is lexical and per-function, and reports:
+//
+//   - time.Sleep calls inside a for/range loop body — the canonical
+//     unkillable retry loop,
+//   - bare receives from a timer channel (<-time.After(d), <-t.C outside a
+//     select) — a sleep in disguise,
+//   - select statements whose every case receives from a timer channel and
+//     which have no default clause — a wait nothing can interrupt.
+//
+// A select with any non-timer case (ctx.Done(), a close/wake channel, a
+// default clause) passes: some signal can preempt the wait. Function
+// literals are analyzed independently — a closure defined in a loop runs on
+// its own schedule. Sleeps outside loops are not flagged; a one-shot delay
+// is a latency decision, not a retry policy.
+var RetryCtx = &Analyzer{
+	Name: "retryctx",
+	Doc: "retry/poll waits must be interruptible: no time.Sleep in loops, " +
+		"no bare timer receives, no timer-only selects — pair the timer " +
+		"with ctx.Done() or a shutdown channel",
+	Run: runRetryCtx,
+}
+
+func runRetryCtx(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkRetry(p, fd.Body, false)
+			}
+		}
+	}
+	return nil
+}
+
+// walkRetry traverses n tracking whether the walk is inside a loop body.
+// Nodes with loop- or select-specific handling recurse manually and prune
+// the generic walk.
+func walkRetry(p *Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			walkRetry(p, x.Body, false)
+			return false
+		case *ast.ForStmt:
+			if x.Init != nil {
+				walkRetry(p, x.Init, inLoop)
+			}
+			if x.Cond != nil {
+				walkRetry(p, x.Cond, inLoop)
+			}
+			if x.Post != nil {
+				walkRetry(p, x.Post, inLoop)
+			}
+			walkRetry(p, x.Body, true)
+			return false
+		case *ast.RangeStmt:
+			walkRetry(p, x.X, inLoop)
+			walkRetry(p, x.Body, true)
+			return false
+		case *ast.SelectStmt:
+			checkTimerSelect(p, x)
+			// Timer receives in the comm clauses are the sanctioned idiom;
+			// only the case bodies continue the generic walk.
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						walkRetry(p, st, inLoop)
+					}
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isTimerChan(p, x.X) {
+				p.Reportf(x.OpPos, "bare timer-channel receive; nothing can interrupt the wait — select on it together with ctx.Done() (see fault.Backoff.Retry)")
+			}
+		case *ast.CallExpr:
+			if inLoop {
+				if f := calleeFunc(p, x); funcFrom(f, "time", "Sleep") {
+					p.Reportf(x.Pos(), "time.Sleep in a loop; cancellation cannot interrupt the retry wait — select on a timer and ctx.Done() instead (see fault.Backoff.Retry)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkTimerSelect reports a select whose only exits are timer-channel
+// receives: no default clause and no case that a canceller could trip.
+func checkTimerSelect(p *Pass, sel *ast.SelectStmt) {
+	timerCases := 0
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return // default clause: non-blocking escape exists
+		}
+		if ch := commRecvChan(cc.Comm); ch != nil && isTimerChan(p, ch) {
+			timerCases++
+			continue
+		}
+		return // send, or receive from a non-timer channel: an escape exists
+	}
+	if timerCases > 0 {
+		p.Reportf(sel.Select, "select waits only on timer channels; add a ctx.Done() or shutdown-channel case so cancellation can interrupt it")
+	}
+}
+
+// commRecvChan extracts the channel operand of a receive comm clause
+// (`<-ch`, `v := <-ch`, `v, ok = <-ch`), or nil for sends.
+func commRecvChan(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// isTimerChan reports whether e's type is a channel of time.Time — the shape
+// of time.After results and time.Timer/Ticker C fields.
+func isTimerChan(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	return namedAs(ch.Elem(), "time", "Time")
+}

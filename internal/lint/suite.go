@@ -46,6 +46,13 @@ func Suite() []ScopedAnalyzer {
 			"repro/relm",
 		)},
 		{Analyzer: LedgerCheck},
+		{Analyzer: RetryCtx, Scope: pkgSet(
+			"repro/internal/fault",
+			"repro/internal/device",
+			"repro/internal/jobs",
+			"repro/internal/kvcache",
+			"repro/internal/server",
+		)},
 	}
 }
 

@@ -1,0 +1,130 @@
+// Package retryctx is the fixture for the retryctx analyzer: waits that
+// cancellation cannot interrupt, and the sanctioned shapes — timer selects
+// paired with ctx.Done() or a shutdown channel.
+package retryctx
+
+import (
+	"context"
+	"time"
+)
+
+type poller struct {
+	stop chan struct{}
+	work chan int
+}
+
+// Positive: the canonical unkillable retry loop.
+func sleepLoop(attempts int) {
+	for i := 0; i < attempts; i++ {
+		time.Sleep(time.Second) // want `time.Sleep in a loop`
+	}
+}
+
+// Positive: range loops count too.
+func sleepRange(items []int) {
+	for range items {
+		time.Sleep(time.Millisecond) // want `time.Sleep in a loop`
+	}
+}
+
+// Positive: a sleep in disguise — nothing can interrupt the receive.
+func bareAfter() {
+	<-time.After(time.Second) // want `bare timer-channel receive`
+}
+
+// Positive: bare receive from a Timer's channel outside a select.
+func bareTimer() {
+	t := time.NewTimer(time.Second)
+	<-t.C // want `bare timer-channel receive`
+}
+
+// Positive: a select whose only exit is the timer is the same unkillable
+// wait wearing select syntax.
+func timerOnlySelect() {
+	select { // want `select waits only on timer channels`
+	case <-time.After(time.Second):
+	}
+}
+
+// Positive: two timer cases still leave cancellation no way in.
+func twoTimerSelect(t *time.Timer) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	select { // want `select waits only on timer channels`
+	case <-t.C:
+	case <-tick.C:
+	}
+}
+
+// Negative: the sanctioned backoff shape — the timer races ctx.Done().
+func backoffWait(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	case <-t.C:
+	}
+	return nil
+}
+
+// Negative: a shutdown channel is as good an escape as a context.
+func (p *poller) windowWait(t *time.Timer) {
+	select {
+	case <-t.C:
+	case <-p.stop:
+	}
+}
+
+// Negative: a default clause makes the select non-blocking.
+func tryTimer(t *time.Timer) bool {
+	select {
+	case <-t.C:
+		return true
+	default:
+		return false
+	}
+}
+
+// Negative: a one-shot sleep outside any loop is a latency decision, not a
+// retry policy.
+func settle() {
+	time.Sleep(time.Millisecond)
+}
+
+// Negative: the loop body's wait is interruptible.
+func pollLoop(ctx context.Context, interval time.Duration) {
+	for {
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Negative: a closure defined in a loop runs on its own schedule; its body
+// restarts with no enclosing loop.
+func spawnWorkers(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			time.Sleep(time.Millisecond)
+		}()
+	}
+}
+
+// Negative: receives from ordinary channels are not timer waits.
+func (p *poller) drain() {
+	for v := range p.work {
+		_ = v
+	}
+	<-p.stop
+}
+
+// Suppressed: an audited sleep in a loop.
+func auditedSleep(attempts int) {
+	for i := 0; i < attempts; i++ {
+		//relm:allow(retryctx) fixture-only: documents that suppression works
+		time.Sleep(time.Millisecond) // wantallow `time.Sleep in a loop`
+	}
+}

@@ -36,19 +36,19 @@ func TestPackHalfRounding(t *testing.T) {
 		{math.Copysign(0, -1), 0x8000},
 		{1, 0x3c00},
 		{-2, 0xc000},
-		{65504, 0x7bff},           // largest finite half
-		{65520, 0x7c00},           // rounds up out of range: +inf
-		{65519.9, 0x7bff},         // just under the midpoint stays finite
+		{65504, 0x7bff},   // largest finite half
+		{65520, 0x7c00},   // rounds up out of range: +inf
+		{65519.9, 0x7bff}, // just under the midpoint stays finite
 		{math.Inf(1), 0x7c00},
 		{math.Inf(-1), 0xfc00},
-		{0x1p-24, 0x0001},         // smallest subnormal
-		{0x1p-25, 0x0000},         // tie rounds to even (zero)
-		{0x1.8p-24, 0x0002},       // tie at 1.5 ulp rounds to even (2)
+		{0x1p-24, 0x0001},           // smallest subnormal
+		{0x1p-25, 0x0000},           // tie rounds to even (zero)
+		{0x1.8p-24, 0x0002},         // tie at 1.5 ulp rounds to even (2)
 		{0x1p-25 + 0x1p-30, 0x0001}, // just over the tie rounds up
-		{0x1p-26, 0x0000},         // underflow
-		{1 + 0x1p-11, 0x3c00},     // tie rounds to even mantissa
-		{1 + 0x1.8p-10, 0x3c02},   // tie above odd mantissa rounds up
-		{0x1.ffep-1, 0x3c00},      // rounding carry crosses the exponent: 1.0
+		{0x1p-26, 0x0000},           // underflow
+		{1 + 0x1p-11, 0x3c00},       // tie rounds to even mantissa
+		{1 + 0x1.8p-10, 0x3c02},     // tie above odd mantissa rounds up
+		{0x1.ffep-1, 0x3c00},        // rounding carry crosses the exponent: 1.0
 	}
 	for _, c := range cases {
 		if got := packHalf(c.v); got != c.want {

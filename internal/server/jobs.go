@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/jobs"
 )
 
@@ -60,6 +61,7 @@ func jobError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, jobs.ErrQueueFull):
 		code = http.StatusTooManyRequests
+		retryAfter(w)
 	}
 	httpError(w, code, err.Error())
 }
@@ -72,6 +74,20 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodPost:
+		if s.draining.Load() {
+			retryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if f := fault.Hit(fault.ServerJobs); f != nil && f.Failure() {
+			if fault.IsTransient(f) {
+				retryAfter(w)
+				httpError(w, http.StatusServiceUnavailable, f.Error())
+				return
+			}
+			httpError(w, http.StatusInternalServerError, f.Error())
+			return
+		}
 		var spec jobs.Spec
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
@@ -126,6 +142,11 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		j, _ := mgr.Get(id)
 		writeJSON(w, http.StatusOK, j.Snapshot())
 	case sub == "resume" && r.Method == http.MethodPost:
+		if s.draining.Load() {
+			retryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
 		j, err := mgr.Resume(id)
 		if err != nil {
 			jobError(w, err)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/relm"
 )
 
@@ -215,6 +216,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.draining.Load() {
+		retryAfter(w)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if f := fault.Hit(fault.ServerSearch); f != nil && f.Failure() {
+		// Injected handler fault: transient reads as a retriable outage
+		// (503 + Retry-After, the same shape a drain presents), permanent as
+		// a hard 500.
+		if fault.IsTransient(f) {
+			retryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, f.Error())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, f.Error())
+		return
+	}
 	req, m, modelName, err := s.parseRequest(w, r)
 	if err != nil {
 		code := http.StatusBadRequest
@@ -232,6 +250,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.rejected.Add(1)
+		retryAfter(w)
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("server is at its concurrency limit (%d queries)", s.cfg.MaxConcurrent))
 		return

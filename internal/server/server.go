@@ -114,6 +114,10 @@ type Server struct {
 
 	nextID   atomic.Int64
 	rejected atomic.Int64
+	// draining flips once at shutdown: admission stops (503 + Retry-After so
+	// load balancers and retrying clients move on), health checks fail, and
+	// in-flight streams run to completion under the drain timeout.
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	models  map[string]*relm.Model
@@ -140,12 +144,34 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		// Failing the liveness probe during drain is what tells an
+		// orchestrator to route new traffic elsewhere.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// BeginDrain stops admission: new searches, job submissions, and resumes get
+// 503 + Retry-After while queries already streaming finish. Idempotent;
+// Serve calls it on the shutdown signal, and tests call it directly.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether admission has been stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// retryAfter stamps the backoff hint on a rejection. One second matches the
+// admission-control story: overload and drain are short-lived conditions, and
+// clients honoring the header (relm-audit does) re-poll instead of hammering.
+func retryAfter(w http.ResponseWriter) { w.Header().Set("Retry-After", "1") }
 
 // AddModel registers a model under name. Models are shared across queries:
 // each request runs in a session over the model's cache and device. When
@@ -357,6 +383,12 @@ type BatcherBlock struct {
 	SizeFlushes       int64   `json:"size_flushes"`
 	UrgentFlushes     int64   `json:"urgent_flushes"`
 	FairnessDeficit   int64   `json:"fairness_deficit"`
+	// Circuit breaker: "closed" or "open"; trips are closed→open
+	// transitions, shed is requests refused while open (they ran on the
+	// direct dispatch path instead).
+	BreakerState string `json:"breaker_state"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	BreakerShed  int64  `json:"breaker_shed"`
 }
 
 // StatsResponse is the /v1/stats payload. Jobs is present only when the
@@ -458,6 +490,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				SizeFlushes:       bs.SizeFlushes,
 				UrgentFlushes:     bs.UrgentFlushes,
 				FairnessDeficit:   bs.FairnessDeficit,
+				BreakerState:      bs.BreakerState,
+				BreakerTrips:      bs.BreakerTrips,
+				BreakerShed:       bs.BreakerShed,
 			}
 		}
 		resp.Models = append(resp.Models, ms)

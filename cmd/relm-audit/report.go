@@ -75,6 +75,10 @@ type Report struct {
 	LedgerBytes int64        `json:"ledger_bytes"`
 	Verified    bool         `json:"verified"`
 	Engine      engine.Stats `json:"engine"`
+	// Stages is the per-stage time breakdown the tracer attributed to this
+	// run (plan compile, frontier rounds, device dispatch, KV, emission),
+	// read from the ledger's complete record.
+	Stages map[string]jobs.StageDelta `json:"stages,omitempty"`
 
 	Results []jobs.ItemResult `json:"results,omitempty"`
 }
@@ -127,6 +131,7 @@ func cmdReport(args []string) error {
 		LedgerBytes: rf.Bytes,
 		Verified:    true, // ReadRun is strict: reaching here means the chain held
 		Engine:      rf.Engine,
+		Stages:      rf.Stages,
 	}
 	if n := len(rf.Results); n > 0 {
 		rep.Value = float64(rf.OKItems) / float64(n)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/textio"
+	"repro/internal/trace"
 	"repro/relm"
 )
 
@@ -39,6 +40,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "quick | full")
 	seedFlag := flag.Int64("seed", 0, "world seed (0 = default)")
 	parFlag := flag.Int("parallelism", runtime.NumCPU(), "device worker-pool width for batch scoring (1 = serial)")
+	traceFlag := flag.String("trace", "", "write every query's span tree as Chrome trace-event JSON to this file (load in chrome://tracing or Perfetto)")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -90,6 +92,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *expFlag)
 		os.Exit(1)
 	}
+	if *traceFlag != "" {
+		if err := writeTrace(*traceFlag, env); err != nil {
+			fmt.Fprintln(os.Stderr, "relm-bench: -trace:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the span trees of every query the run's models retained
+// as one Chrome trace-event JSON file.
+func writeTrace(path string, env *experiments.Env) error {
+	data := env.Traces()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := trace.WriteChrome(f, data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote %s (%d traces)\n", path, len(data))
+	return nil
 }
 
 // reportSplit prints the compile-vs-traverse time split for one experiment:

@@ -14,6 +14,8 @@
 //	POST /v1/search   {"model":"small","pattern":" ((cat)|(dog))","prefix":"The","max_matches":5}
 //	GET  /v1/stats
 //	GET  /v1/models
+//	GET  /v1/trace        recent trace summaries; /v1/trace/{id} for span trees
+//	GET  /metrics         Prometheus text exposition
 //	GET  /healthz
 //	/v1/jobs...       durable validation jobs (submit/list/watch/cancel/
 //	                  resume/results) when -jobs-dir is set; see
@@ -33,7 +35,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +48,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/relm"
 )
 
@@ -76,6 +81,9 @@ func main() {
 	jobsActive := flag.Int("jobs-active", 2, "validation jobs running concurrently")
 	jobsQueued := flag.Int("jobs-queued", 16, "validation-job queue depth before submissions get 429")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget after SIGTERM/SIGINT: finish in-flight streams, checkpoint jobs, close ledgers")
+	traceSampling := flag.Float64("trace-sampling", 1.0, "fraction of queries recorded as span-tree traces (served at /v1/trace; negative disables tracing)")
+	traceRing := flag.Int("trace-ring", 0, "finished traces retained per model (0 = default 256)")
+	traceDir := flag.String("trace-dir", "", "directory to dump each model's retained traces as Chrome trace-event JSON on shutdown (load in chrome://tracing or Perfetto)")
 	chaos := flag.String("chaos", "", "fault-injection scenario, e.g. 'device.forward=p0.05,ledger.sync=n1' (empty = off; see internal/fault)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for deterministic chaos decisions")
 	flag.Parse()
@@ -111,6 +119,8 @@ func main() {
 		KVCompression:      kvMode,
 		ContinuousBatching: *fusion,
 		FusionWindow:       *fusionWindow,
+		TraceSampling:      *traceSampling,
+		TraceRing:          *traceRing,
 	}
 
 	srv := server.New(server.Config{
@@ -142,11 +152,17 @@ func main() {
 		srv.EnableJobs(mgr)
 		fmt.Printf("validation-job API enabled (ledgers in %s)\n", *jobsDir)
 	}
+	// registry mirrors the server's model table for the shutdown trace dump.
+	registry := map[string]*relm.Model{}
+	addModel := func(name string, m *relm.Model) {
+		srv.AddModel(name, m)
+		registry[name] = m
+	}
 	if len(models) == 0 {
 		// Rebuild through NewModel so the registry entries share the pool
 		// and carry the serve-time cache/batch settings.
-		srv.AddModel("large", relm.NewModel(env.Large.LM, env.Tok, opts))
-		srv.AddModel("small", relm.NewModel(env.Small.LM, env.Tok, opts))
+		addModel("large", relm.NewModel(env.Large.LM, env.Tok, opts))
+		addModel("small", relm.NewModel(env.Small.LM, env.Tok, opts))
 		fmt.Println("registered models: large, small")
 	}
 	for _, spec := range models {
@@ -158,7 +174,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("load %s: %w", name, err))
 		}
-		srv.AddModel(name, m)
+		addModel(name, m)
 		fmt.Printf("registered %s model %q from %s\n", arch, name, dir)
 	}
 
@@ -173,7 +189,45 @@ func main() {
 	if err := srv.Serve(ln, stop, *drainTimeout); err != nil {
 		fatal(err)
 	}
+	if *traceDir != "" {
+		if err := dumpTraces(*traceDir, registry); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Println("relm-serve drained cleanly")
+}
+
+// dumpTraces writes each model's retained traces as one Chrome trace-event
+// JSON file per model under dir.
+func dumpTraces(dir string, registry map[string]*relm.Model) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data := registry[name].Tracer().Recent(0)
+		if len(data) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, name+".trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		werr := trace.WriteChrome(f, data)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace dump %s: %w", path, werr)
+		}
+		fmt.Printf("wrote %s (%d traces)\n", path, len(data))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -201,9 +201,28 @@ type request struct {
 	remaining int // rows not yet executed
 	done      chan struct{}
 
+	// trace, when non-nil, is the scheduler-side record of a traced view's
+	// ride through the fusion queue. The scheduler goroutine writes it
+	// before close(done); the submitting goroutine reads it after <-done —
+	// the channel close is the publication barrier.
+	trace *reqTrace
+
 	panicMu  sync.Mutex
 	panicked bool
 	panicVal any
+}
+
+// reqTrace records what the scheduler observed for one traced request:
+// queue wait at first selection, the fusion-batch ids its rows rode in,
+// the highest cross-query occupancy of those batches, and the virtual-
+// clock interval the carrying dispatch(es) charged.
+type reqTrace struct {
+	waitUS    int64
+	batches   []int64
+	occupancy int
+	vstart    time.Duration
+	vend      time.Duration
+	hasV      bool
 }
 
 func (r *request) rowCount() int {
@@ -504,6 +523,17 @@ func (b *Batcher) selectLocked(now time.Time, cap int) *fusedBatch {
 		lo := r.next
 		hi := lo + take
 		r.next = hi
+		if rt := r.trace; rt != nil {
+			if lo == 0 {
+				rt.waitUS = now.Sub(r.enq).Microseconds()
+			}
+			// The batch being packed gets id fusedBatches+1 (the counter
+			// increments when selection completes below). Dedupe: the fair-
+			// share loop can pick the same request twice for one batch.
+			if id := b.fusedBatches + 1; len(rt.batches) == 0 || rt.batches[len(rt.batches)-1] != id {
+				rt.batches = append(rt.batches, id)
+			}
+		}
 		for i := lo; i < hi; i++ {
 			fb.tokens += r.tokensAt(i)
 		}
@@ -593,14 +623,27 @@ func (b *Batcher) execute(fb *fusedBatch) {
 	c.mu.Lock()
 	workers := c.workers
 	pool := c.pool
+	vstart := c.clock
 	c.clock += cost
 	c.busy += cost
 	c.batches++
 	c.sequences += int64(fb.rows)
 	c.tokens += int64(fb.tokens)
+	vend := c.clock
 	c.mu.Unlock()
 	if pool != nil {
 		workers = pool.Size()
+	}
+	for _, sg := range fb.segs {
+		if rt := sg.req.trace; rt != nil {
+			if !rt.hasV {
+				rt.vstart, rt.hasV = vstart, true
+			}
+			rt.vend = vend
+			if fb.queries > rt.occupancy {
+				rt.occupancy = fb.queries
+			}
+		}
 	}
 
 	shards := fb.shards(workers)

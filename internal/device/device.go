@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // LatencyModel prices a batch. Defaults approximate a mid-range GPU running
@@ -76,6 +77,12 @@ type Device struct {
 	lm  model.LanguageModel
 	qos QoS
 	c   *core
+
+	// tr/trParent, when set (WithTrace), record a span per dispatch made
+	// through this view. nil on untraced views — the hot-path cost of the
+	// instrumentation is then a single pointer check.
+	tr       *trace.Trace
+	trParent trace.SpanID
 }
 
 // QoS identifies the principal a view scores for. The fusion batcher uses
@@ -100,14 +107,14 @@ func New(lm model.LanguageModel, latency LatencyModel, maxBatch int) *Device {
 // per-query model wrapper (e.g. a cache attribution scope) through a shared
 // device: work done via any view is billed to the one virtual accelerator.
 func (d *Device) WithModel(lm model.LanguageModel) *Device {
-	return &Device{lm: lm, qos: d.qos, c: d.c}
+	return &Device{lm: lm, qos: d.qos, c: d.c, tr: d.tr, trParent: d.trParent}
 }
 
 // WithQoS returns a view with the given scheduling identity: same model,
 // same shared core, but scoring calls made through it are accounted (and,
 // under fusion, prioritized) for q.
 func (d *Device) WithQoS(q QoS) *Device {
-	return &Device{lm: d.lm, qos: q, c: d.c}
+	return &Device{lm: d.lm, qos: q, c: d.c, tr: d.tr, trParent: d.trParent}
 }
 
 // Batcher returns the fusion scheduler attached to this device's core, or
@@ -167,16 +174,25 @@ func (d *Device) MaxBatch() int { return d.c.maxBatch }
 // concurrent use, including across views.
 func (d *Device) Forward(ctxs [][]model.Token) [][]float64 {
 	d.inject(fault.DeviceForward)
+	var span trace.SpanID
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{kind: reqForward, ctxs: ctxs, rows: make([][]float64, len(ctxs))}
+		span = d.traceFusedStart("device.forward", r)
 		if b.submit(d, r) {
+			if d.tr != nil {
+				d.traceFusedEnd(span, r.trace, len(ctxs), countTokens(ctxs))
+			}
 			return r.rows
 		}
 	}
 	out := make([][]float64, len(ctxs))
+	span, v0 := d.traceDirectBegin(span, "device.forward")
 	d.runChunks(len(ctxs), func(c []model.Token) int { return len(c) }, ctxs, func(lo, hi int) {
 		copy(out[lo:hi], d.lm.ScoreBatch(ctxs[lo:hi]))
 	})
+	if d.tr != nil {
+		d.traceDirectEnd(span, v0, len(ctxs), countTokens(ctxs))
+	}
 	return out
 }
 

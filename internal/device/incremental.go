@@ -3,6 +3,7 @@ package device
 import (
 	"repro/internal/fault"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // Incremental dispatch (DESIGN.md decision 10). These entry points mirror
@@ -18,6 +19,7 @@ import (
 // the same contexts).
 func (d *Device) Prefill(ctxs [][]model.Token) ([]model.DecodeState, [][]float64) {
 	d.inject(fault.DevicePrefill)
+	var span trace.SpanID
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{
 			kind:      reqPrefill,
@@ -25,17 +27,25 @@ func (d *Device) Prefill(ctxs [][]model.Token) ([]model.DecodeState, [][]float64
 			rows:      make([][]float64, len(ctxs)),
 			outStates: make([]model.DecodeState, len(ctxs)),
 		}
+		span = d.traceFusedStart("device.prefill", r)
 		if b.submit(d, r) {
+			if d.tr != nil {
+				d.traceFusedEnd(span, r.trace, len(ctxs), countTokens(ctxs))
+			}
 			return r.outStates, r.rows
 		}
 	}
 	states := make([]model.DecodeState, len(ctxs))
 	rows := make([][]float64, len(ctxs))
+	span, v0 := d.traceDirectBegin(span, "device.prefill")
 	d.runChunks(len(ctxs), func(c []model.Token) int { return len(c) }, ctxs, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			states[i], rows[i] = model.Prefill(d.lm, ctxs[i])
 		}
 	})
+	if d.tr != nil {
+		d.traceDirectEnd(span, v0, len(ctxs), countTokens(ctxs))
+	}
 	return states, rows
 }
 
@@ -43,6 +53,7 @@ func (d *Device) Prefill(ctxs [][]model.Token) ([]model.DecodeState, [][]float64
 // token per sequence — the incremental saving, on the virtual clock.
 func (d *Device) ExtendBatch(states []model.DecodeState, tokens []model.Token) ([]model.DecodeState, [][]float64) {
 	d.inject(fault.DeviceExtend)
+	var span trace.SpanID
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{
 			kind:      reqExtend,
@@ -51,17 +62,25 @@ func (d *Device) ExtendBatch(states []model.DecodeState, tokens []model.Token) (
 			rows:      make([][]float64, len(states)),
 			outStates: make([]model.DecodeState, len(states)),
 		}
+		span = d.traceFusedStart("device.extend", r)
 		if b.submit(d, r) {
+			if d.tr != nil {
+				d.traceFusedEnd(span, r.trace, len(states), len(states))
+			}
 			return r.outStates, r.rows
 		}
 	}
 	out := make([]model.DecodeState, len(states))
 	rows := make([][]float64, len(states))
+	span, v0 := d.traceDirectBegin(span, "device.extend")
 	d.runChunks(len(states), nil, nil, func(lo, hi int) {
 		ns, rs := model.Extend(d.lm, states[lo:hi], tokens[lo:hi])
 		copy(out[lo:hi], ns)
 		copy(rows[lo:hi], rs)
 	})
+	if d.tr != nil {
+		d.traceDirectEnd(span, v0, len(states), len(states))
+	}
 	return out, rows
 }
 
@@ -71,18 +90,27 @@ func (d *Device) ExtendBatch(states []model.DecodeState, tokens []model.Token) (
 // row-expanded contexts.
 func (d *Device) ScoreAll(seqs [][]model.Token) [][][]float64 {
 	d.inject(fault.DeviceScoreAll)
+	var span trace.SpanID
 	if b := d.c.batcher.Load(); b != nil {
 		r := &request{kind: reqScoreAll, ctxs: seqs, allRows: make([][][]float64, len(seqs))}
+		span = d.traceFusedStart("device.scoreall", r)
 		if b.submit(d, r) {
+			if d.tr != nil {
+				d.traceFusedEnd(span, r.trace, len(seqs), countTokens(seqs))
+			}
 			return r.allRows
 		}
 	}
 	out := make([][][]float64, len(seqs))
+	span, v0 := d.traceDirectBegin(span, "device.scoreall")
 	d.runChunks(len(seqs), func(s []model.Token) int { return len(s) }, seqs, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = model.AllPositionLogProbs(d.lm, seqs[i])
 		}
 	})
+	if d.tr != nil {
+		d.traceDirectEnd(span, v0, len(seqs), countTokens(seqs))
+	}
 	return out
 }
 

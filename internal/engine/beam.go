@@ -50,7 +50,9 @@ type beamStream struct {
 }
 
 func (s *beamStream) init() {
-	logPs, calls := scoreSequences(s.dev, s.q.Prefixes)
+	pdev, pspan := prefixDevice(s.dev, s.q)
+	logPs, calls := scoreSequences(pdev, s.q.Prefixes)
+	s.q.Trace.End(pspan)
 	s.stats.modelCalls.Add(calls)
 	for pi, p := range s.q.Prefixes {
 		logP := logPs[pi]
@@ -96,7 +98,8 @@ func (s *beamStream) run() {
 		for i, n := range s.beam {
 			ctxs[i] = n.ctx
 		}
-		lps := scoreFrontier(s.dev, s.q, ctxs)
+		rdev, rspan := roundDevice(s.dev, s.q, int64(step), len(s.beam))
+		lps := scoreFrontier(rdev, s.q, ctxs)
 		s.stats.modelCalls.Add(int64(len(s.beam)))
 		s.stats.nodesExpanded.Add(int64(len(s.beam)))
 
@@ -113,6 +116,7 @@ func (s *beamStream) run() {
 		}
 		s.beam = next
 		s.truncateBeam()
+		s.q.Trace.End(rspan)
 	}
 	// Final harvest of hypotheses that ended exactly at MaxSteps. The
 	// RequireEOS check needs one more score per candidate; batch them into
@@ -132,7 +136,9 @@ func (s *beamStream) run() {
 		for i, n := range finals {
 			ctxs[i] = n.ctx
 		}
-		lps := scoreFrontier(s.dev, s.q, ctxs)
+		rdev, rspan := roundDevice(s.dev, s.q, int64(s.opts.MaxSteps), len(finals))
+		lps := scoreFrontier(rdev, s.q, ctxs)
+		defer s.q.Trace.End(rspan)
 		s.stats.modelCalls.Add(int64(len(finals)))
 		kept := finals[:0]
 		for i, n := range finals {

@@ -26,6 +26,7 @@ type dijkstraStream struct {
 	q     *Query
 	heap  nodeHeap
 	done  error // terminal state: set once the stream has ended for good
+	round int64 // expansion rounds so far (trace annotation)
 	stats counters
 }
 
@@ -55,7 +56,9 @@ func normalizeQuery(dev *device.Device, q *Query) *Query {
 // than position-by-position, so broad prefix sets pay one dispatch.
 func (s *dijkstraStream) init() {
 	heap.Init(&s.heap)
-	logPs, calls := scoreSequences(s.dev, s.q.Prefixes)
+	pdev, pspan := prefixDevice(s.dev, s.q)
+	logPs, calls := scoreSequences(pdev, s.q.Prefixes)
+	s.q.Trace.End(pspan)
 	s.stats.modelCalls.Add(calls)
 	for pi, p := range s.q.Prefixes {
 		logP := logPs[pi]
@@ -130,7 +133,9 @@ func (s *dijkstraStream) Next() (*Result, error) {
 		for i, n := range batch {
 			ctxs[i] = n.ctx
 		}
-		lps := scoreFrontier(s.dev, s.q, ctxs)
+		rdev, rspan := roundDevice(s.dev, s.q, s.round, len(batch))
+		s.round++
+		lps := scoreFrontier(rdev, s.q, ctxs)
 		s.stats.modelCalls.Add(int64(len(batch)))
 		s.stats.nodesExpanded.Add(int64(len(batch)))
 		// Expansion (rule filtering, canonicality checks, child construction)
@@ -144,6 +149,7 @@ func (s *dijkstraStream) Next() (*Result, error) {
 				heap.Push(&s.heap, c)
 			}
 		}
+		s.q.Trace.End(rspan)
 	}
 	return nil, s.finish(ErrExhausted)
 }

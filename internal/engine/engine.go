@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/kvcache"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // Query is a fully compiled ReLM query: the token-space automaton for the
@@ -90,6 +92,11 @@ type Query struct {
 	// Context cancels an in-progress traversal: Next (and Mass) observe it
 	// between expansion rounds and return its error. nil means Background.
 	Context context.Context
+	// Trace, when non-nil, records the traversal's span tree: one "round"
+	// span per frontier expansion with the device dispatches and KV arena
+	// work it triggered as children. nil (the default) keeps every
+	// instrumentation site at a single pointer check.
+	Trace *trace.Trace
 
 	// cancel releases the stream's derived context. Filled by
 	// normalizeQuery; Stream.Close and terminal Next paths invoke it so an
@@ -340,6 +347,8 @@ func scoreFrontier(dev *device.Device, q *Query, ctxs [][]model.Token) [][]float
 		return dev.Forward(clamped)
 	}
 	lps := make([][]float64, len(ctxs))
+	tr, trParent := dev.TraceContext()
+	kvSpan := tr.Start(trParent, "kv.acquire")
 	// cacheable: a state for ctx is worth committing iff a child extension
 	// from it would itself be incremental (inside the window with headroom
 	// for the transformer's window-minus-one clamp).
@@ -370,6 +379,12 @@ func scoreFrontier(dev *device.Device, q *Query, ctxs [][]model.Token) [][]float
 		fwdIdx = append(fwdIdx, i)
 		fwdCtxs = append(fwdCtxs, clampCtx(m, ctx))
 	}
+	if tr != nil {
+		tr.Annotate(kvSpan, "hits", strconv.Itoa(len(exts)))
+		tr.Annotate(kvSpan, "misses", strconv.Itoa(len(pfIdx)))
+		tr.Annotate(kvSpan, "deep", strconv.Itoa(len(fwdIdx)))
+		tr.End(kvSpan)
+	}
 	if len(exts) > 0 {
 		// Demoted parents with no exact expansion (token-only compacts,
 		// DESIGN.md decision 14) promote first: one Prefill per unique parent
@@ -397,10 +412,18 @@ func scoreFrontier(dev *device.Device, q *Query, ctxs [][]model.Token) [][]float
 			promoCtxs = append(promoCtxs, ctx[:len(ctx)-1])
 		}
 		if len(promo) > 0 {
-			pstates, _ := dev.Prefill(promoCtxs)
+			pdev := dev
+			var promoSpan trace.SpanID
+			if tr != nil {
+				promoSpan = tr.Start(trParent, "kv.promote")
+				tr.Annotate(promoSpan, "parents", strconv.Itoa(len(promo)))
+				pdev = dev.WithTrace(tr, promoSpan)
+			}
+			pstates, _ := pdev.Prefill(promoCtxs)
 			for jj, j := range promo {
 				exts[j].parent.Promote(pstates[jj])
 			}
+			tr.End(promoSpan)
 		}
 		states := make([]model.DecodeState, len(exts))
 		toks := make([]model.Token, len(exts))
@@ -432,6 +455,29 @@ func scoreFrontier(dev *device.Device, q *Query, ctxs [][]model.Token) [][]float
 		}
 	}
 	return lps
+}
+
+// roundDevice opens one frontier-expansion "round" span and returns the
+// traced device view this round's dispatches should record under.
+// Untraced queries pay one nil check and get dev back unchanged.
+func roundDevice(dev *device.Device, q *Query, round int64, nodes int) (*device.Device, trace.SpanID) {
+	if q.Trace == nil {
+		return dev, 0
+	}
+	sp := q.Trace.Start(trace.RootID, "round")
+	q.Trace.Annotate(sp, "n", strconv.FormatInt(round, 10))
+	q.Trace.Annotate(sp, "nodes", strconv.Itoa(nodes))
+	return dev.WithTrace(q.Trace, sp), sp
+}
+
+// prefixDevice opens the "prefix.score" span that roots a traversal (the
+// batched scoring of the enumerated prefix set).
+func prefixDevice(dev *device.Device, q *Query) (*device.Device, trace.SpanID) {
+	if q.Trace == nil {
+		return dev, 0
+	}
+	sp := q.Trace.Start(trace.RootID, "prefix.score")
+	return dev.WithTrace(q.Trace, sp), sp
 }
 
 // parallelFor runs fn(i) for every i in [0, n) across up to workers

@@ -110,6 +110,7 @@ func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 		frontierMass += rootMass
 	}
 
+	var round int64
 	for frontier.Len() > 0 {
 		res.Upper = res.Lower + frontierMass
 		if res.Upper-res.Lower <= opts.Tolerance {
@@ -131,7 +132,9 @@ func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 		for i, n := range batch {
 			ctxs[i] = n.ctx
 		}
-		lps := scoreFrontier(dev, q, ctxs)
+		rdev, rspan := roundDevice(dev, q, round, len(batch))
+		round++
+		lps := scoreFrontier(rdev, q, ctxs)
 		res.Expanded += int64(len(batch))
 
 		// Rule filtering, canonicality checks, and child construction are
@@ -190,6 +193,7 @@ func Mass(dev *device.Device, q *Query, opts MassOptions) *MassResult {
 				frontierMass += child.mass
 			}
 		}
+		q.Trace.End(rspan)
 	}
 	res.Upper = res.Lower + frontierMass
 	if res.Upper-res.Lower <= opts.Tolerance {

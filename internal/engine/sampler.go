@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/kvcache"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // SamplerOptions configures randomized traversal.
@@ -57,6 +58,12 @@ func Sample(dev *device.Device, q *Query, opts SamplerOptions) Stream {
 	}
 	if opts.PrefixMaxLen <= 0 {
 		opts.PrefixMaxLen = dev.Model().MaxSeqLen()
+	}
+	if nq.Trace != nil {
+		// Sampling walks make thousands of single-row dispatches; per-attempt
+		// round spans would blow the span cap for no insight. Dispatch spans
+		// parent directly under the root instead.
+		dev = dev.WithTrace(nq.Trace, trace.RootID)
 	}
 	s := &samplerStream{dev: dev, q: nq, opts: opts}
 	if opts.PrefixDFA != nil {

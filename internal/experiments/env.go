@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/lambada"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/internal/trace"
 	"repro/internal/web"
 	"repro/relm"
 )
@@ -58,6 +60,11 @@ type Env struct {
 	mu         sync.Mutex
 	planProbes []func() relm.PlanCacheStats
 	kvProbes   []func() relm.KVStats
+	// tracers holds each tracked model's trace ring (the Tracer is a small
+	// standalone structure like the probes: retaining it does not pin the
+	// model's weights), so Traces can merge every query's span tree for
+	// cmd/relm-bench's -trace Chrome export.
+	tracers []*trace.Tracer
 }
 
 // EnvConfig overrides sizing; zero values take Scale-based defaults.
@@ -171,8 +178,24 @@ func (e *Env) TrackModel(m *relm.Model) *relm.Model {
 	e.mu.Lock()
 	e.planProbes = append(e.planProbes, probe)
 	e.kvProbes = append(e.kvProbes, kvProbe)
+	e.tracers = append(e.tracers, m.Tracer())
 	e.mu.Unlock()
 	return m
+}
+
+// Traces merges the retained query traces of every model the env has built
+// or tracked, oldest first — the input cmd/relm-bench -trace writes out as
+// Chrome trace-event JSON.
+func (e *Env) Traces() []*trace.Data {
+	e.mu.Lock()
+	tracers := append([]*trace.Tracer(nil), e.tracers...)
+	e.mu.Unlock()
+	var out []*trace.Data
+	for _, tr := range tracers {
+		out = append(out, tr.Recent(0)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Began.Before(out[j].Began) })
+	return out
 }
 
 // KVStats sums prefix-state arena counters over every model the env has

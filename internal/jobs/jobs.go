@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/trace"
 )
 
 // Statuses a job moves through. Queued → Running → one of the terminal
@@ -185,6 +186,36 @@ type Snapshot struct {
 	// skipped instead of failing the job.
 	Retries     int64 `json:"retries"`
 	Quarantined int   `json:"quarantined"`
+	// Stages attributes trace-stage activity (DESIGN.md decision 16) to the
+	// job's lifetime: spans ended and microseconds accumulated per stage
+	// while the job ran. Best-effort under concurrent jobs on one model,
+	// like the KV/plan attribution; empty when the model's tracer is off.
+	Stages map[string]StageDelta `json:"stages,omitempty"`
+}
+
+// StageDelta is one trace stage's share of a job's runtime.
+type StageDelta struct {
+	Count int64 `json:"count"`
+	DurUS int64 `json:"dur_us"`
+}
+
+// stageDelta subtracts two tracer StageTotals snapshots, keeping stages
+// that saw activity in between.
+func stageDelta(start, end map[string]trace.StageTotal) map[string]StageDelta {
+	if len(end) == 0 {
+		return nil
+	}
+	out := map[string]StageDelta{}
+	for name, e := range end {
+		s := start[name]
+		if d := (StageDelta{Count: e.Count - s.Count, DurUS: e.DurUS - s.DurUS}); d.Count > 0 {
+			out[name] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // ManagerStats is the /v1/stats jobs block: lifecycle counters plus total

@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/relm"
 )
 
@@ -197,11 +198,15 @@ type Job struct {
 
 	kvStart   relm.KVStats
 	planStart relm.PlanCacheStats
-	// kvEnd/planEnd freeze the shared-cache counters at the terminal
-	// transition so a finished job's attribution stops accumulating other
-	// jobs' traffic on the same model.
-	kvEnd   relm.KVStats
-	planEnd relm.PlanCacheStats
+	// stageStart snapshots the model tracer's per-stage totals at dispatch;
+	// the delta against the terminal snapshot is the job's stage breakdown.
+	stageStart map[string]trace.StageTotal
+	// kvEnd/planEnd/stageEnd freeze the shared-model counters at the
+	// terminal transition so a finished job's attribution stops accumulating
+	// other jobs' traffic on the same model.
+	kvEnd    relm.KVStats
+	planEnd  relm.PlanCacheStats
+	stageEnd map[string]trace.StageTotal
 
 	cancelCtx context.CancelFunc
 	done      chan struct{}
@@ -264,6 +269,10 @@ type completeData struct {
 	ItemsDone int          `json:"items_done"`
 	OKItems   int          `json:"ok_items"`
 	Engine    engine.Stats `json:"engine"`
+	// Stages is the job's trace-stage breakdown (DESIGN.md decision 16),
+	// durable in the ledger so `relm-audit report` can attribute a finished
+	// sweep's time per pipeline stage.
+	Stages map[string]StageDelta `json:"stages,omitempty"`
 }
 
 // itemsHash fingerprints the worklist so a resume against a different env
@@ -587,6 +596,7 @@ func (m *Manager) dispatchLocked() {
 		j.cancelCtx = cancel
 		j.kvStart = j.model.KVStats()
 		j.planStart = j.model.PlanCacheStats()
+		j.stageStart = j.model.Tracer().StageTotals()
 		j.mu.Unlock()
 		m.active++
 		go m.runJob(j, ctx)
@@ -807,7 +817,9 @@ feed:
 	// Terminal transition.
 	j.mu.Lock()
 	itemsDone, okItems, es := len(j.results), j.okItems, j.engine
+	stageStart := j.stageStart
 	j.mu.Unlock()
+	endStages := j.model.Tracer().StageTotals()
 	var status, errMsg string
 	if err, _ := appendErr.Load().(error); err != nil {
 		status, errMsg = StatusFailed, err.Error()
@@ -819,6 +831,7 @@ feed:
 		if err := ledgerRetry("complete", func() error {
 			_, err := j.ledger.Append(kindComplete, completeData{
 				ItemsDone: itemsDone, OKItems: okItems, Engine: es,
+				Stages: stageDelta(stageStart, endStages),
 			})
 			return err
 		}); err != nil {
@@ -841,6 +854,7 @@ feed:
 	j.finished = time.Now()
 	j.kvEnd = j.model.KVStats()
 	j.planEnd = j.model.PlanCacheStats()
+	j.stageEnd = endStages
 	j.mu.Unlock()
 	close(j.done)
 
@@ -1046,16 +1060,18 @@ func (j *Job) Snapshot() Snapshot {
 	}
 	if !j.started.IsZero() {
 		end := j.finished
-		kv, plan := j.kvEnd, j.planEnd
+		kv, plan, stages := j.kvEnd, j.planEnd, j.stageEnd
 		if end.IsZero() { // still running: live counters
 			end = time.Now()
 			kv, plan = j.model.KVStats(), j.model.PlanCacheStats()
+			stages = j.model.Tracer().StageTotals()
 		}
 		snap.DurationMS = end.Sub(j.started).Milliseconds()
 		snap.KVHits = kv.Hits - j.kvStart.Hits
 		snap.KVMisses = kv.Misses - j.kvStart.Misses
 		snap.PlanHits = plan.Hits - j.planStart.Hits
 		snap.PlanMisses = plan.Misses - j.planStart.Misses
+		snap.Stages = stageDelta(j.stageStart, stages)
 	}
 	return snap
 }

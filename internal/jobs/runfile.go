@@ -32,7 +32,10 @@ type RunFile struct {
 	// Engine carries the complete record's work counters (zero until the
 	// run completes).
 	Engine engine.Stats `json:"engine"`
-	Bytes  int64        `json:"bytes"`
+	// Stages is the complete record's trace-stage breakdown (empty until
+	// the run completes, or when tracing was off).
+	Stages map[string]StageDelta `json:"stages,omitempty"`
+	Bytes  int64                 `json:"bytes"`
 }
 
 // ReadRun strictly verifies and replays a run ledger. The error is a
@@ -90,6 +93,7 @@ func ReadRun(path string) (*RunFile, error) {
 				return nil, err
 			}
 			rf.Engine = d.Engine
+			rf.Stages = d.Stages
 		}
 	}
 	idx := make([]int, 0, len(results))

@@ -58,3 +58,46 @@ func newStats() *stats {
 	s.n = 0 // wantallow `field n is accessed with sync/atomic elsewhere in this package`
 	return s
 }
+
+// Trace-counter shapes (DESIGN.md decision 16): a per-stage latency
+// histogram whose hot-path fields are typed atomics fed by engine worker
+// goroutines while /metrics snapshots read them concurrently.
+type stageHist struct {
+	count atomic.Int64
+	sumUS atomic.Int64
+}
+
+// Negative: the hot path touches the counters only through their methods.
+func (h *stageHist) observe(us int64) {
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// Negative: the snapshot side reads via Load.
+func (h *stageHist) totals() (int64, int64) {
+	return h.count.Load(), h.sumUS.Load()
+}
+
+// Positive: zeroing a typed atomic by assignment tears a counter a scraper
+// may be loading.
+func (h *stageHist) reset() {
+	h.count = atomic.Int64{} // want `atomic-typed field count used as a plain value`
+}
+
+// Sampling counters in the address-function style: the tracer's sampled and
+// skipped tallies advance on every query.
+type samplerStats struct {
+	sampled int64
+	skipped int64
+}
+
+func (t *samplerStats) take() { atomic.AddInt64(&t.sampled, 1) }
+func (t *samplerStats) skip() { atomic.AddInt64(&t.skipped, 1) }
+
+// Positive: reconciling the totals with plain reads races the hot path —
+// exactly the /v1/stats coherence regression the analyzer exists to stop.
+func (t *samplerStats) decisions() int64 {
+	n := t.sampled // want `field sampled is accessed with sync/atomic elsewhere in this package`
+	n += t.skipped // want `field skipped is accessed with sync/atomic elsewhere in this package`
+	return n
+}

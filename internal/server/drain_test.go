@@ -101,8 +101,12 @@ func TestServeDrainsGracefullyOnSignal(t *testing.T) {
 	go func() { serveDone <- s.Serve(ln, stop, 30*time.Second) }()
 	base := "http://" + ln.Addr().String()
 
+	// The toxicity suite: each item is a budgeted search, so the job stays
+	// running long enough for the poll below to observe it. (The memorization
+	// suite's dozen near-instant items could finish inside one poll interval,
+	// making the "running" observation a race.)
 	resp, err := http.Post(base+"/v1/jobs", "application/json",
-		strings.NewReader(`{"suite":"memorization","model":"large","shard_size":1,"workers":1,"checkpoint_every":1}`))
+		strings.NewReader(`{"suite":"toxicity","model":"large","shard_size":1,"workers":1,"checkpoint_every":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/relm"
 )
 
@@ -162,6 +163,9 @@ type DoneEvent struct {
 	Matches int64            `json:"matches"`
 	Engine  engine.Stats     `json:"engine"`
 	Cache   cache.ScopeStats `json:"cache"`
+	// TraceID names the query's span tree in GET /v1/trace/{id}, when the
+	// query was sampled (DESIGN.md decision 16).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // eventWriter abstracts the two streaming framings.
@@ -346,6 +350,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	ew := newEventWriter(w, r)
 	writeFailed := false
+	// tr instruments each emitted frame: one "emit" span per match covers
+	// encoding + flush, so a trace shows when a slow client (not the device)
+	// paces the stream. Spans are per-match because the stream's trace
+	// snapshot freezes the moment Next returns its terminal error.
+	tr := results.Tracing()
 	for i := 0; i < budget; i++ {
 		match, nerr := results.Next()
 		if nerr != nil {
@@ -361,7 +370,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			LogProb:   match.LogProb,
 			Canonical: match.Canonical,
 		}
-		if werr := ew.event("match", ev); werr != nil {
+		emitSpan := tr.Start(trace.RootID, "emit")
+		werr := ew.event("match", ev)
+		if tr != nil {
+			tr.Annotate(emitSpan, "index", fmt.Sprintf("%d", i))
+			tr.End(emitSpan)
+		}
+		if werr != nil {
 			// The client went away mid-stream; stop the traversal now
 			// rather than burning the device on an unread answer.
 			writeFailed = true
@@ -382,6 +397,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Matches: rec.matches.Load(),
 		Engine:  results.Stats(),
 		Cache:   sess.CacheStats(),
+		TraceID: results.TraceID(),
 	}
 	_ = ew.event("done", done)
 }

@@ -9,7 +9,11 @@
 //	GET  /v1/stats    — per-query and aggregate engine.Stats, shared-cache
 //	                    attribution, device counters
 //	GET  /v1/models   — the model registry
-//	GET  /healthz     — liveness
+//	GET  /v1/trace    — recent query traces (DESIGN.md decision 16); see
+//	                    observe.go
+//	GET  /metrics     — Prometheus text exposition of every counter family
+//	GET  /healthz     — liveness, uptime, build info, drain state, model
+//	                    fingerprints
 //	/v1/jobs...       — the durable validation-job API (DESIGN.md decision
 //	                    11), mounted by EnableJobs; see jobs.go
 //
@@ -108,9 +112,10 @@ func (c *Config) defaults() {
 // Server is the query service. Create with New, register models with
 // AddModel, then mount it as an http.Handler.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
-	sem chan struct{}
+	cfg     Config
+	mux     *http.ServeMux
+	sem     chan struct{}
+	started time.Time
 
 	nextID   atomic.Int64
 	rejected atomic.Int64
@@ -125,6 +130,10 @@ type Server struct {
 	history []*queryRecord
 	agg     engine.Stats // summed over finished queries
 	byState map[string]int64
+	// fingerprints caches each model's behavioral fingerprint, computed once
+	// at registration — Fingerprint hashes probe generations, too expensive
+	// for every /healthz poll.
+	fingerprints map[string]string
 	// jobsMgr is the validation-job subsystem, mounted by EnableJobs (nil:
 	// the /v1/jobs API is absent and /v1/stats omits the jobs block).
 	jobsMgr *jobs.Manager
@@ -134,30 +143,23 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		models:  map[string]*relm.Model{},
-		active:  map[int64]*queryRecord{},
-		byState: map[string]int64{},
+		cfg:          cfg,
+		mux:          http.NewServeMux(),
+		sem:          make(chan struct{}, cfg.MaxConcurrent),
+		started:      time.Now(),
+		models:       map[string]*relm.Model{},
+		active:       map[int64]*queryRecord{},
+		byState:      map[string]int64{},
+		fingerprints: map[string]string{},
 	}
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/trace", s.handleTraceList)
+	s.mux.HandleFunc("/v1/trace/", s.handleTraceGet)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		// Failing the liveness probe during drain is what tells an
-		// orchestrator to route new traffic elsewhere.
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
-	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
 }
 
 // BeginDrain stops admission: new searches, job submissions, and resumes get
@@ -177,9 +179,16 @@ func retryAfter(w http.ResponseWriter) { w.Header().Set("Retry-After", "1") }
 // each request runs in a session over the model's cache and device. When
 // the jobs subsystem is mounted, the model joins its registry too.
 func (s *Server) AddModel(name string, m *relm.Model) {
+	// Fingerprint runs probe generations — compute it outside the lock, once,
+	// so /healthz can serve it for free.
+	fp := m.Fingerprint()
+	// Trace IDs become "name-N", so /v1/trace rows are attributable to a
+	// model without a second lookup.
+	m.Tracer().SetIDPrefix(name)
 	s.mu.Lock()
 	jm := s.jobsMgr
 	s.models[name] = m
+	s.fingerprints[name] = fp
 	s.mu.Unlock()
 	if jm != nil {
 		jm.RegisterModel(name, m)
@@ -367,6 +376,19 @@ type ModelStats struct {
 	// Batcher is the continuous-batching section (DESIGN.md decision 12),
 	// present only when fusion is enabled on the model's device.
 	Batcher *BatcherBlock `json:"batcher,omitempty"`
+	// Trace is the query-tracing section (DESIGN.md decision 16), present
+	// once the model has made at least one sampling decision.
+	Trace *TraceBlock `json:"trace,omitempty"`
+}
+
+// TraceBlock reports the tracer's sampling activity: queries traced vs
+// skipped by the sampling rate, traces published over the model's lifetime,
+// and how many the bounded ring currently retains for /v1/trace.
+type TraceBlock struct {
+	Sampled  int64 `json:"sampled"`
+	Skipped  int64 `json:"skipped"`
+	Stored   int64 `json:"stored"`
+	Retained int   `json:"retained"`
 }
 
 // BatcherBlock reports the fusion scheduler's counters: how much cross-query
@@ -409,6 +431,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	writeJSON(w, http.StatusOK, s.snapshotStats())
+}
+
+// snapshotStats gathers every counter family at one coherent point — the
+// single reader behind both /v1/stats and /metrics, so the two exposures can
+// never disagree about what a counter means or when it is read.
+//
+// Read order is part of the contract: per-query engine counters are
+// snapshotted BEFORE the shared model families (device, batcher, caches). A
+// query's counters advance only after the shared infrastructure has already
+// recorded the underlying work (a batcher row is counted before the request's
+// done channel closes and the stream adds its model call), so reading queries
+// first guarantees reconciliation invariants like fused_rows >= the rows
+// implied by any per-query total — TestStatsCoherence holds the server to
+// this.
+func (s *Server) snapshotStats() StatsResponse {
 	s.mu.Lock()
 	jm := s.jobsMgr
 	resp := StatsResponse{
@@ -446,62 +484,74 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		m := models[n]
-		ms := ModelStats{
-			Name:      n,
-			VocabSize: m.LM.VocabSize(),
-			MaxSeqLen: m.LM.MaxSeqLen(),
-		}
-		ds := m.Dev.Stats()
-		ms.DeviceClock = ds.Clock.Milliseconds()
-		ms.DeviceUtil = ds.Utilization
-		ms.Batches = ds.Batches
-		if c := m.Cache(); c != nil {
-			ms.CacheHits, ms.CacheMisses = c.Stats()
-			ms.CacheFlights = c.FlightStats()
-			ms.CacheLen = c.Len()
-		}
-		ps := m.PlanCacheStats()
-		ms.PlanHits = ps.Hits
-		ms.PlanMisses = ps.Misses
-		ms.PlanBypassed = ps.Bypassed
-		ms.PlanEntries = ps.Entries
-		ms.PlanCompileMS = ps.CompileTime.Milliseconds()
-		ks := m.KVStats()
-		ms.KVHits = ks.Hits
-		ms.KVMisses = ks.Misses
-		ms.KVEvictions = ks.Evictions
-		ms.KVResidentBytes = ks.ResidentBytes
-		ms.KVNodes = ks.Nodes
-		ms.KVCompressedNodes = ks.CompressedNodes
-		ms.KVCompressedBytes = ks.CompressedBytes
-		ms.KVPromotions = ks.Promotions
-		ms.KVDemotions = ks.Demotions
-		if m.Fused() {
-			bs := m.BatcherStats()
-			ms.Batcher = &BatcherBlock{
-				FusedBatches:      bs.FusedBatches,
-				FusedRows:         bs.Rows,
-				MeanOccupancy:     bs.MeanOccupancy,
-				MultiQueryBatches: bs.MultiQueryBatches,
-				QueueDepth:        bs.QueueDepth,
-				PeakQueueDepth:    bs.PeakQueueDepth,
-				WindowFlushes:     bs.WindowFlushes,
-				SizeFlushes:       bs.SizeFlushes,
-				UrgentFlushes:     bs.UrgentFlushes,
-				FairnessDeficit:   bs.FairnessDeficit,
-				BreakerState:      bs.BreakerState,
-				BreakerTrips:      bs.BreakerTrips,
-				BreakerShed:       bs.BreakerShed,
-			}
-		}
-		resp.Models = append(resp.Models, ms)
+		resp.Models = append(resp.Models, modelStats(n, models[n]))
 	}
 	if jm != nil {
 		js := jm.Stats()
 		resp.Jobs = &js
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// modelStats snapshots one model's shared counter families back-to-back.
+func modelStats(n string, m *relm.Model) ModelStats {
+	ms := ModelStats{
+		Name:      n,
+		VocabSize: m.LM.VocabSize(),
+		MaxSeqLen: m.LM.MaxSeqLen(),
+	}
+	ds := m.Dev.Stats()
+	ms.DeviceClock = ds.Clock.Milliseconds()
+	ms.DeviceUtil = ds.Utilization
+	ms.Batches = ds.Batches
+	if c := m.Cache(); c != nil {
+		ms.CacheHits, ms.CacheMisses = c.Stats()
+		ms.CacheFlights = c.FlightStats()
+		ms.CacheLen = c.Len()
+	}
+	ps := m.PlanCacheStats()
+	ms.PlanHits = ps.Hits
+	ms.PlanMisses = ps.Misses
+	ms.PlanBypassed = ps.Bypassed
+	ms.PlanEntries = ps.Entries
+	ms.PlanCompileMS = ps.CompileTime.Milliseconds()
+	ks := m.KVStats()
+	ms.KVHits = ks.Hits
+	ms.KVMisses = ks.Misses
+	ms.KVEvictions = ks.Evictions
+	ms.KVResidentBytes = ks.ResidentBytes
+	ms.KVNodes = ks.Nodes
+	ms.KVCompressedNodes = ks.CompressedNodes
+	ms.KVCompressedBytes = ks.CompressedBytes
+	ms.KVPromotions = ks.Promotions
+	ms.KVDemotions = ks.Demotions
+	if m.Fused() {
+		bs := m.BatcherStats()
+		ms.Batcher = &BatcherBlock{
+			FusedBatches:      bs.FusedBatches,
+			FusedRows:         bs.Rows,
+			MeanOccupancy:     bs.MeanOccupancy,
+			MultiQueryBatches: bs.MultiQueryBatches,
+			QueueDepth:        bs.QueueDepth,
+			PeakQueueDepth:    bs.PeakQueueDepth,
+			WindowFlushes:     bs.WindowFlushes,
+			SizeFlushes:       bs.SizeFlushes,
+			UrgentFlushes:     bs.UrgentFlushes,
+			FairnessDeficit:   bs.FairnessDeficit,
+			BreakerState:      bs.BreakerState,
+			BreakerTrips:      bs.BreakerTrips,
+			BreakerShed:       bs.BreakerShed,
+		}
+	}
+	if tc := m.Tracer().Counts(); tc.Sampled+tc.Skipped > 0 {
+		ms.Trace = &TraceBlock{
+			Sampled:  tc.Sampled,
+			Skipped:  tc.Skipped,
+			Stored:   tc.Stored,
+			Retained: tc.Retained,
+		}
+	}
+	return ms
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

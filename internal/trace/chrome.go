@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete events plus "M"
+// metadata). The format is what chrome://tracing and Perfetto load, so a
+// fused batch's cross-query occupancy is visible in a flamegraph viewer:
+// traces share the wall timeline, one viewer thread per query.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // µs
+	Dur  float64        `json:"dur,omitempty"` // µs
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the traces as a Chrome trace-event JSON document.
+// Events sit on the wall timeline (the only clock shared across
+// concurrently-running queries); each span's deterministic vdev interval
+// rides along in args. Traces are laid out one per viewer thread, ordered
+// by start time, under a single process.
+func WriteChrome(w io.Writer, traces []*Data) error {
+	ordered := make([]*Data, 0, len(traces))
+	for _, d := range traces {
+		if d != nil {
+			ordered = append(ordered, d)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Began.Before(ordered[j].Began) })
+
+	var events []chromeEvent
+	var origin int64 // earliest trace start, ns — keeps timestamps small
+	if len(ordered) > 0 {
+		origin = ordered[0].Began.UnixNano()
+	}
+	for tid, d := range ordered {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid + 1,
+			Args: map[string]any{"name": d.ID},
+		})
+		base := float64(d.Began.UnixNano()-origin) / 1e3
+		for i := range d.Spans {
+			sp := &d.Spans[i]
+			args := map[string]any{
+				"span_id": sp.ID,
+				"parent":  sp.Parent,
+			}
+			if sp.VEndUS > sp.VStartUS {
+				args["vdev_start_us"] = sp.VStartUS
+				args["vdev_end_us"] = sp.VEndUS
+				args["vdev_us"] = sp.VEndUS - sp.VStartUS
+			}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Val
+			}
+			dur := float64(sp.WallEndNS-sp.WallStartNS) / 1e3
+			if dur < 0.001 {
+				// Zero-width events vanish in viewers; give instantaneous
+				// spans (emits) a visible sliver.
+				dur = 0.001
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name, Ph: "X",
+				TS:  base + float64(sp.WallStartNS)/1e3,
+				Dur: dur,
+				PID: 1, TID: tid + 1,
+				Args: args,
+			})
+		}
+	}
+
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// bucketsUS are the fixed histogram bounds in microseconds, spanning the
+// sub-millisecond device dispatches of the quick-scale world up to
+// second-long full queries. Fixed bounds keep observation allocation-free
+// and make histograms mergeable across models and commits.
+var bucketsUS = [...]int64{
+	50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1000000,
+}
+
+// hist is one stage's fixed-bucket latency histogram. All fields are
+// atomics so observe never takes a lock on the query path.
+type hist struct {
+	buckets [len(bucketsUS) + 1]atomic.Uint64 // +1 for +Inf
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+}
+
+func (h *hist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := 0
+	for ; i < len(bucketsUS); i++ {
+		if us <= bucketsUS[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(uint64(us))
+}
+
+// HistSnapshot is one stage histogram frozen at a point in time, with
+// cumulative bucket counts as the Prometheus exposition needs them.
+type HistSnapshot struct {
+	Stage      string
+	Cumulative [len(bucketsUS) + 1]uint64 // per-le cumulative counts; last is +Inf
+	Count      uint64
+	SumUS      uint64
+}
+
+// Histograms snapshots every stage histogram, sorted by stage name for
+// deterministic output.
+func (tr *Tracer) Histograms() []HistSnapshot {
+	if tr == nil {
+		return nil
+	}
+	names := tr.stageNames()
+	out := make([]HistSnapshot, 0, len(names))
+	tr.hmu.Lock()
+	defer tr.hmu.Unlock()
+	for _, name := range names {
+		h := tr.hists[name]
+		s := HistSnapshot{Stage: name}
+		var cum uint64
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			s.Cumulative[i] = cum
+		}
+		s.Count = h.count.Load()
+		s.SumUS = h.sumUS.Load()
+		out = append(out, s)
+	}
+	return out
+}
+
+// PromEscape escapes a label value per the Prometheus text exposition
+// format (backslash, double quote, newline).
+func PromEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePromHistograms renders the tracer's stage histograms as sample
+// lines of one histogram metric family, with stage and the given extra
+// labels on every sample. The caller (the /metrics handler) emits the
+// # HELP / # TYPE header once for the family; this writes only samples so
+// multiple models can share one family.
+func (tr *Tracer) WritePromHistograms(w io.Writer, metric string, labels string) error {
+	for _, s := range tr.Histograms() {
+		base := fmt.Sprintf(`stage="%s"`, PromEscape(s.Stage))
+		if labels != "" {
+			base = labels + "," + base
+		}
+		for i, cum := range s.Cumulative {
+			le := "+Inf"
+			if i < len(bucketsUS) {
+				le = fmt.Sprintf("%d", bucketsUS[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", metric, base, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s} %d\n", metric, base, s.SumUS); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{%s} %d\n", metric, base, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -3,8 +3,10 @@ package relm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/trace"
 )
 
 // MassEstimate reports certified bounds on the probability that a complete
@@ -57,10 +59,16 @@ func Mass(m *Model, q SearchQuery, opts MassOptions) (*MassEstimate, error) {
 		return nil, errors.New("relm: model is incomplete")
 	}
 	applyDefaults(&q)
-	comp, _, err := compileCached(m, &q)
+	tr := m.tracer.NewTrace()
+	defer tr.Finish() // Mass is synchronous: the trace publishes on return
+	tr.Annotate(trace.RootID, "pattern", q.Query.Pattern)
+	compSpan := tr.Start(trace.RootID, "plan.compile")
+	comp, hit, err := compileCached(m, &q)
 	if err != nil {
 		return nil, err
 	}
+	tr.Annotate(compSpan, "cache_hit", strconv.FormatBool(hit))
+	tr.End(compSpan)
 	eq := &engine.Query{
 		Rule:        buildRule(q),
 		MaxTokens:   q.MaxTokens,
@@ -71,6 +79,7 @@ func Mass(m *Model, q SearchQuery, opts MassOptions) (*MassEstimate, error) {
 		KV:          m.kv,
 		Pattern:     comp.token,
 		Filter:      comp.filter,
+		Trace:       tr,
 	}
 	prefix, err := compilePrefix(&q)
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/regex"
 	"repro/internal/tokenizer"
+	"repro/internal/trace"
 )
 
 // SearchStrategy selects the traversal algorithm (§3.3).
@@ -283,6 +285,11 @@ type Model struct {
 	// device when ModelOptions.ContinuousBatching is set (DESIGN.md decision
 	// 12); nil when dispatch is direct. Shared by every session.
 	batcher *device.Batcher
+	// tracer owns the model's query tracing: the sampling decision, the
+	// bounded ring of finished traces, and the per-stage latency histograms
+	// (DESIGN.md decision 16). nil when ModelOptions.TraceSampling is
+	// negative — every instrumentation site then costs a single nil check.
+	tracer *trace.Tracer
 }
 
 // ModelOptions configures device simulation, caching, and scoring
@@ -341,6 +348,17 @@ type ModelOptions struct {
 	// the scheduler holds a partial batch hoping more queries contribute
 	// rows. Only meaningful with ContinuousBatching.
 	FusionWindow time.Duration
+	// TraceSampling sets the fraction of queries recorded as structured
+	// span-tree traces into the model's bounded trace ring (DESIGN.md
+	// decision 16): 0 takes the default of 1.0 (every query; the ring caps
+	// retention), values in (0, 1] sample that fraction deterministically,
+	// and a negative value disables tracing entirely — the query path then
+	// pays one nil pointer check per instrumentation site and allocates
+	// nothing.
+	TraceSampling float64
+	// TraceRing bounds how many finished traces the model retains for
+	// GET /v1/trace (0: 256).
+	TraceRing int
 }
 
 // NewModel wraps a language model and tokenizer for querying.
@@ -392,8 +410,14 @@ func NewModel(lm model.LanguageModel, tok *tokenizer.BPE, opts ModelOptions) *Mo
 		kv:            kv,
 		kvCompression: opts.KVCompression,
 		batcher:       batcher,
+		tracer:        trace.New(opts.TraceSampling, opts.TraceRing),
 	}
 }
+
+// Tracer returns the model's query tracer, or nil when tracing is disabled
+// (ModelOptions.TraceSampling < 0). Serving layers use it to name the
+// trace-id namespace, list recent traces, and export stage histograms.
+func (m *Model) Tracer() *trace.Tracer { return m.tracer }
 
 // KVCompressionMode reports the arena's tiered-compression knob; meaningful
 // only when the arena is enabled (KVBudgetBytes >= 0).
@@ -540,7 +564,8 @@ func (m *Model) NewSession() *Session {
 			plans:         m.plans, // sessions share the model's compiled plans
 			kv:            m.kv,    // ... its prefix-state arena
 			kvCompression: m.kvCompression,
-			batcher:       m.batcher, // ... and its fusion scheduler
+			batcher:       m.batcher, // ... its fusion scheduler
+			tracer:        m.tracer,  // ... and its trace ring
 		},
 		scope: scope,
 	}
@@ -594,6 +619,7 @@ type Results struct {
 	filters []func(string) bool
 	dedup   bool
 	seen    map[string]bool
+	trace   *trace.Trace // nil when the query was not sampled
 
 	mu  sync.Mutex
 	err error // first non-exhaustion stream error
@@ -611,6 +637,7 @@ func (r *Results) Next() (*Match, error) {
 			if !errors.Is(err, ErrExhausted) {
 				r.recordErr(err)
 			}
+			r.trace.Finish() // terminal for this stream either way
 			return nil, err
 		}
 		m := &Match{
@@ -686,10 +713,30 @@ func (r *Results) recordErr(err error) {
 // round; subsequent Next calls fail immediately. Close is idempotent and
 // safe from any goroutine. Always close a Results you do not drain to
 // exhaustion.
-func (r *Results) Close() error { return r.stream.Close() }
+func (r *Results) Close() error {
+	err := r.stream.Close()
+	r.trace.Finish()
+	return err
+}
 
 // Stats exposes the underlying engine counters.
 func (r *Results) Stats() engine.Stats { return r.stream.Stats() }
+
+// TraceID returns the identifier of this query's trace in the model's trace
+// ring, or "" when the query was not sampled. The trace becomes retrievable
+// (GET /v1/trace/{id}) once the stream finishes: exhaustion, a terminal
+// error, or Close.
+func (r *Results) TraceID() string { return r.trace.ID() }
+
+// Trace finishes and returns this query's span tree, or nil when the query
+// was not sampled. Spans opened after the first call are dropped.
+func (r *Results) Trace() *trace.Data { return r.trace.Finish() }
+
+// Tracing returns the query's live trace handle so serving layers can add
+// their own spans (stream emission, for example); nil when the query was not
+// sampled. Spans must be ended before the stream reaches its terminal state —
+// the trace snapshot freezes when the stream finishes.
+func (r *Results) Tracing() *trace.Trace { return r.trace }
 
 // Search compiles and launches a query against a model, returning a result
 // stream. Compilation follows §3.1's pipeline: regex -> Natural Language
@@ -700,15 +747,27 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 	}
 	applyDefaults(&q)
 
+	// Sampling decision for the whole query: one trace (or nil) covers
+	// compile, prefix scoring, every expansion round, and emission.
+	tr := m.tracer.NewTrace()
+	tr.Annotate(trace.RootID, "pattern", q.Query.Pattern)
+	if q.Query.Prefix != "" {
+		tr.Annotate(trace.RootID, "prefix", q.Query.Prefix)
+	}
+
 	// 1–2. Pattern compilation: regex -> char DFA -> preprocessors -> token
 	// automaton per the tokenization strategy. Served from the model's plan
 	// cache when an identical query compiled before (DESIGN.md decision 9);
 	// the compiled plan is immutable, so cache hits share it safely across
 	// concurrent traversals.
-	comp, _, err := compileCached(m, &q)
+	compSpan := tr.Start(trace.RootID, "plan.compile")
+	comp, hit, err := compileCached(m, &q)
 	if err != nil {
+		tr.Finish()
 		return nil, err
 	}
+	tr.Annotate(compSpan, "cache_hit", strconv.FormatBool(hit))
+	tr.End(compSpan)
 	eq := &engine.Query{
 		Rule:           buildRule(q),
 		RequireEOS:     q.RequireEOS,
@@ -722,23 +781,28 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 		KV:             m.kv,
 		Pattern:        comp.token,
 		Filter:         comp.filter,
+		Trace:          tr,
 	}
 
 	// 3. Prefix handling: the prefix is itself a regex (§3.4); its strings
 	// are enumerated and canonically encoded. Prefixes bypass decision rules.
 	prefix, err := compilePrefix(&q)
 	if err != nil {
+		tr.Finish()
 		return nil, err
 	}
 
 	newResults := func(stream engine.Stream) *Results {
-		return &Results{stream: stream, tok: m.Tok, filters: q.DeferredFilters, dedup: q.DedupByText}
+		return &Results{stream: stream, tok: m.Tok, filters: q.DeferredFilters, dedup: q.DedupByText, trace: tr}
 	}
 	enumeratePrefixes := func() error {
 		if prefix == nil {
 			return nil
 		}
 		eq.Prefixes, err = prefix.Encode(m.Tok)
+		if err != nil {
+			tr.Finish()
+		}
 		return err
 	}
 
@@ -769,6 +833,7 @@ func Search(m *Model, q SearchQuery) (*Results, error) {
 		return newResults(engine.Sample(m.Dev, eq, opts)), nil
 
 	default:
+		tr.Finish()
 		return nil, fmt.Errorf("relm: unknown search strategy %d", q.Strategy)
 	}
 }

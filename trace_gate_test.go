@@ -1,0 +1,235 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/internal/trace"
+	"repro/relm"
+)
+
+// Tracing gate (DESIGN.md decision 16, PR-10). Observability must be free
+// when off and faithful when on: a disabled tracer is a nil pointer whose
+// hooks allocate nothing and perturb the virtual device clock by < 2%, and
+// an enabled tracer yields a span tree covering the whole query path —
+// compile, frontier rounds, device dispatches with fusion-batch membership,
+// KV acquires, emits — while leaving the result stream byte-identical.
+
+// traceGateQuery is the depth-32 incremental query both gate arms run: a
+// shortest-path search with incremental decoding (KV arena) in play.
+func traceGateQuery() relm.SearchQuery {
+	return relm.SearchQuery{
+		Query: relm.QueryString{
+			Pattern: " ((engineering)|(medicine)|(art))",
+			Prefix:  "The man was trained in",
+		},
+		Strategy:    relm.ShortestPath,
+		Incremental: true,
+		RequireEOS:  true,
+		MaxTokens:   32,
+		BatchExpand: 1,
+	}
+}
+
+var (
+	traceGateOnce sync.Once
+	traceGateLM   *model.Transformer
+	traceGateTok  *tokenizer.BPE
+)
+
+// traceGateModel trains the gate's substrate once: a tiny transformer —
+// the prefix-stateful model class the KV arena (and so the kv.acquire
+// span) exists for; the env's n-gram analogs bypass the arena by design.
+func traceGateModel() (*model.Transformer, *tokenizer.BPE) {
+	traceGateOnce.Do(func() {
+		lines := []string{
+			"The man was trained in engineering",
+			"The woman was trained in medicine",
+			"The man was trained in art",
+			"The cat sat on the mat",
+			"The dog sat on the mat",
+		}
+		traceGateTok = tokenizer.Train(lines, 150)
+		traceGateLM = model.TrainTransformer(lines, traceGateTok, model.TransformerConfig{
+			DModel: 16, NHeads: 2, NLayers: 1, DFF: 32, MaxSeqLen: 48, Epochs: 2, Seed: 9,
+		})
+	})
+	return traceGateLM, traceGateTok
+}
+
+// runTraceArm runs the gate query on a fresh model and returns the result
+// stream (comparable strings), the finished trace (nil when tracing is
+// off), and the total virtual device time the run charged.
+func runTraceArm(tb testing.TB, opts relm.ModelOptions) ([]string, *trace.Data, time.Duration) {
+	tb.Helper()
+	lm, tok := traceGateModel()
+	m := relm.NewModel(lm, tok, opts)
+	defer m.Close()
+
+	results, err := relm.Search(m, traceGateQuery())
+	if err != nil {
+		tb.Fatalf("search: %v", err)
+	}
+	matches := results.Take(3)
+	if err := results.Err(); err != nil {
+		tb.Fatalf("stream: %v", err)
+	}
+	stream := make([]string, len(matches))
+	for i, mt := range matches {
+		stream[i] = fmt.Sprintf("%q|%v|%v", mt.Text, mt.Tokens, mt.LogProb)
+	}
+	data := results.Trace() // finishes the trace; nil when tracing is off
+	if cerr := results.Close(); cerr != nil {
+		tb.Fatalf("close: %v", cerr)
+	}
+	return stream, data, m.Dev.Stats().Clock
+}
+
+// fusedOpts is the gate configuration: continuous batching on (so device
+// spans record fusion-batch membership) and the default KV arena (so the
+// traversal takes the incremental path).
+func fusedOpts(sampling float64) relm.ModelOptions {
+	return relm.ModelOptions{
+		MaxBatch:           32,
+		ContinuousBatching: true,
+		FusionWindow:       time.Millisecond,
+		TraceSampling:      sampling,
+	}
+}
+
+// TestTraceOverheadGate is the PR-10 acceptance gate.
+//
+// Disabled arm: TraceSampling < 0 makes the tracer nil; every
+// instrumentation hook must run with zero allocations, and the run's
+// virtual-device cost must stay within 2% of the traced run (the vdev
+// clock only ever advances for real scoring work, so tracing should not
+// move it at all).
+//
+// Enabled arm: the depth-32 incremental query yields a span tree with the
+// plan compile, at least one device dispatch carrying its fusion-batch id,
+// and at least one KV acquire — and a result stream byte-identical to the
+// untraced run.
+func TestTraceOverheadGate(t *testing.T) {
+	// Zero-allocation hooks when disabled: the nil tracer and nil trace
+	// must no-op without touching the heap.
+	allocs := testing.AllocsPerRun(200, func() {
+		var tr *trace.Tracer
+		tr.SetIDPrefix("x")
+		tt := tr.NewTrace()
+		id := tt.Start(trace.RootID, "device.forward")
+		tt.Annotate(id, "rows", "1")
+		tt.SetVDev(id, 0, time.Microsecond)
+		tt.End(id)
+		tt.Finish()
+		_ = tt.ID()
+		_ = tr.Recent(1)
+		_ = tr.Get("q-1")
+		_ = tr.Counts()
+		_ = tr.StageTotals()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-tracer hooks allocate %.1f allocs/op, want 0", allocs)
+	}
+
+	off, offTrace, offClock := runTraceArm(t, fusedOpts(-1))
+	on, onTrace, onClock := runTraceArm(t, fusedOpts(0)) // 0 = default 1.0
+
+	if offTrace != nil {
+		t.Errorf("TraceSampling -1 still produced a trace %q", offTrace.ID)
+	}
+	if len(off) == 0 {
+		t.Fatalf("gate query produced no matches")
+	}
+	if fmt.Sprint(on) != fmt.Sprint(off) {
+		t.Errorf("traced stream differs from untraced run\ntraced:   %v\nuntraced: %v", on, off)
+	}
+
+	// The virtual clock charges scoring work only; tracing reads it but
+	// must not add to it.
+	overhead := float64(onClock-offClock) / float64(offClock)
+	t.Logf("vdev untraced %v vs traced %v (%.3f%% overhead)", offClock, onClock, 100*overhead)
+	if overhead < 0 {
+		overhead = -overhead
+	}
+	if overhead >= 0.02 {
+		t.Errorf("traced run moved the vdev clock by %.2f%%, want < 2%%", 100*overhead)
+	}
+
+	if onTrace == nil {
+		t.Fatalf("traced run retained no trace")
+	}
+	root := onTrace.Root()
+	if root == nil || root.Name != "query" || root.ID != trace.RootID {
+		t.Fatalf("trace root = %+v, want the RootID %q span", root, "query")
+	}
+	if n := len(onTrace.Find("plan.compile")); n != 1 {
+		t.Errorf("trace has %d plan.compile spans, want 1", n)
+	}
+	devSpans, fusionTagged := 0, 0
+	for _, sp := range onTrace.Spans {
+		if !strings.HasPrefix(sp.Name, "device.") {
+			continue
+		}
+		devSpans++
+		if sp.Attr("fusion_batch") != "" {
+			fusionTagged++
+		}
+	}
+	if devSpans == 0 {
+		t.Errorf("trace has no device dispatch spans")
+	}
+	if fusionTagged == 0 {
+		t.Errorf("no device span carries a fusion_batch id (%d device spans)", devSpans)
+	}
+	if n := len(onTrace.Find("kv.acquire")); n == 0 {
+		t.Errorf("trace has no kv.acquire spans")
+	}
+	if onTrace.DroppedSpans != 0 {
+		t.Errorf("gate query dropped %d spans", onTrace.DroppedSpans)
+	}
+}
+
+// spanSignature reduces a trace to its deterministic skeleton: span ids,
+// parentage, names, and virtual-device durations. Wall timestamps and
+// scheduling attributes (queue waits, batch ids) are excluded by design.
+func spanSignature(d *trace.Data) []string {
+	out := make([]string, len(d.Spans))
+	for i, sp := range d.Spans {
+		out[i] = fmt.Sprintf("%d<-%d %s vdev=%dus", sp.ID, sp.Parent, sp.Name, sp.VEndUS-sp.VStartUS)
+	}
+	return out
+}
+
+// TestTraceDeterminism pins the decision-16 guarantee: for a query run in
+// isolation (no fusion, serial scoring), two runs produce identical span
+// trees — same names, same parentage, same vdev durations — and identical
+// result streams.
+func TestTraceDeterminism(t *testing.T) {
+	opts := relm.ModelOptions{} // unfused, serial: the isolation regime
+	s1, d1, _ := runTraceArm(t, opts)
+	s2, d2, _ := runTraceArm(t, opts)
+	if d1 == nil || d2 == nil {
+		t.Fatalf("runs retained no trace (run1=%v run2=%v)", d1 != nil, d2 != nil)
+	}
+	if fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Errorf("result streams differ across identical runs\nrun1: %v\nrun2: %v", s1, s2)
+	}
+	sig1, sig2 := spanSignature(d1), spanSignature(d2)
+	if len(sig1) != len(sig2) {
+		t.Fatalf("span counts differ: %d vs %d", len(sig1), len(sig2))
+	}
+	for i := range sig1 {
+		if sig1[i] != sig2[i] {
+			t.Errorf("span %d differs across identical runs:\nrun1: %s\nrun2: %s", i, sig1[i], sig2[i])
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	t.Logf("deterministic span tree: %d spans, e.g. %s", len(sig1), sig1[0])
+}
